@@ -1,0 +1,28 @@
+PYTHON ?= python
+
+.PHONY: install test bench repro examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -p no:randomly --ignore=tests/test_examples.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+repro:
+	$(PYTHON) scripts/reproduce_all.py -o REPORT.md
+
+repro-fast:
+	$(PYTHON) scripts/reproduce_all.py --fast -o REPORT.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints it,
+and persists the rendered text under ``benchmarks/results/`` so the
+artifacts survive pytest's output capture.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and save it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")

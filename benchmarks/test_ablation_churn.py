@@ -1,0 +1,40 @@
+"""Ablation — isolation and latency under vNode churn (§V-A dynamics).
+
+The static Table IV experiment fills the PM once; production PMs see
+continuous arrivals and departures, each resizing a vNode and extending
+or shrinking pinnings.  This bench drives that churn and verifies the
+paper's dynamic claims: re-pinning happens only on lifecycle events,
+LLC isolation between vNodes survives the movement, and the per-level
+latency ordering (premium lowest) holds throughout.
+"""
+
+from conftest import publish
+from repro.analysis import format_table
+from repro.perfmodel import ChurnParams, TestbedParams, run_churn_testbed
+
+
+def compute():
+    return run_churn_testbed(
+        ChurnParams(base=TestbedParams(duration=900.0), event_interval=15.0)
+    )
+
+
+def test_churn_ablation(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[level, f"{ms:.2f}"] for level, ms in result.median_p90_ms.items()]
+    rows += [
+        ["churn deploys", result.deploys],
+        ["churn removals", result.removals],
+        ["pin changes (incl. warm fill)", result.pin_changes],
+        ["max LLC groups shared", result.max_llc_violations],
+        ["VMs at end", result.final_vms],
+    ]
+    publish(
+        "ablation_churn",
+        "Ablation — isolation under vNode churn (median p90, ms)\n"
+        + format_table(["metric", "value"], rows),
+    )
+    assert result.deploys > 0 and result.removals > 0
+    medians = result.median_p90_ms
+    assert medians["1:1"] <= medians["2:1"] <= medians["3:1"]
+    assert result.max_llc_violations <= 2

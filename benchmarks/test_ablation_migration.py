@@ -1,0 +1,56 @@
+"""Ablation — live-migration rebalancing (paper §VIII future work).
+
+Runs the shared cluster with a daily consolidation pass and compares
+the minimal cluster size against the no-migration SlackVM scheduler.
+Migration can only help (it repairs fragmentation that arrivals and
+departures leave behind), at the cost of VM moves.
+"""
+
+from conftest import publish
+from repro.analysis import format_table
+from repro.core import SlackVMConfig
+from repro.hardware import SIM_WORKER
+from repro.migration import MigratingSimulation
+from repro.simulator import minimal_cluster
+from repro.workload import OVHCLOUD, WorkloadParams, generate_workload
+
+SEED = 42
+POPULATION = 300
+DAY = 86_400.0
+
+
+def compute():
+    workload = generate_workload(
+        WorkloadParams(catalog=OVHCLOUD, level_mix="F",
+                       target_population=POPULATION, seed=SEED)
+    )
+    plain = minimal_cluster(workload, SIM_WORKER, policy="progress")
+
+    moves = {}
+
+    def factory(machines):
+        sim = MigratingSimulation(
+            machines, config=SlackVMConfig(), policy="progress",
+            fail_fast=True, rebalance_interval=DAY,
+        )
+        moves["sim"] = sim
+        return sim
+
+    migrating = minimal_cluster(workload, SIM_WORKER, simulation_factory=factory)
+    return plain.pms, migrating.pms, moves["sim"].total_migrations
+
+
+def test_migration_ablation(benchmark):
+    plain_pms, migrating_pms, migrations = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["configuration", "PMs", "migrations"],
+        [
+            ["slackvm (no migration)", plain_pms, 0],
+            ["slackvm + daily rebalance", migrating_pms, migrations],
+        ],
+    )
+    publish("ablation_migration",
+            "Ablation — live-migration consolidation (future work §VIII)\n" + table)
+    assert migrating_pms <= plain_pms

@@ -1,0 +1,95 @@
+"""Adoption sweep — converting a fraction of the fleet to SlackVM.
+
+Providers do not flip a whole fleet at once.  This experiment sizes
+mixed fleets where a fraction ``f`` of the PMs co-host every level
+(SlackVM) and the remaining PMs stay dedicated to single levels (split
+in the baseline's own proportions), sweeping ``f`` from 0 to 1.  The
+savings should grow monotonically-ish with adoption and reach the full
+shared-cluster number at 100 % — quantifying the incremental-migration
+path the paper's architecture enables.
+"""
+
+from conftest import publish
+from repro.analysis import format_table
+from repro.core import OversubscriptionLevel, SlackVMConfig
+from repro.hardware import SIM_WORKER, MachineSpec
+from repro.simulator import VectorSimulation, minimal_cluster
+from repro.workload import OVHCLOUD, WorkloadParams, generate_workload
+
+SEED = 42
+POPULATION = 300
+MIX = "F"
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+ALL_LEVELS = (1.0, 2.0, 3.0)
+
+
+def compute():
+    workload = generate_workload(
+        WorkloadParams(catalog=OVHCLOUD, level_mix=MIX,
+                       target_population=POPULATION, seed=SEED)
+    )
+    # Dedicated proportions from per-level baselines (First-Fit).
+    per_level = {}
+    for ratio in (1.0, 3.0):
+        sub = [vm for vm in workload if vm.level.ratio == ratio]
+        cfg = SlackVMConfig(levels=(OversubscriptionLevel(ratio),))
+        per_level[ratio] = minimal_cluster(
+            sub, SIM_WORKER, policy="first_fit", config=cfg
+        ).pms
+    baseline_total = sum(per_level.values())
+
+    def host_plan(n: int, fraction: float) -> list[tuple[float, ...]]:
+        """Level offers per host: the first PMs dedicated (cycled in
+        baseline proportions), the last ``fraction`` share fully shared."""
+        n_shared = round(fraction * n)
+        n_dedicated = n - n_shared
+        pattern: list[tuple[float, ...]] = []
+        total = sum(per_level.values())
+        # Largest-remainder split of the dedicated PMs per level.
+        quotas = {
+            r: per_level[r] * n_dedicated / total for r in per_level
+        }
+        counts = {r: int(q) for r, q in quotas.items()}
+        leftover = n_dedicated - sum(counts.values())
+        for r, _ in sorted(quotas.items(), key=lambda kv: kv[1] - int(kv[1]),
+                           reverse=True)[:leftover]:
+            counts[r] += 1
+        for r in sorted(counts):
+            pattern += [(r,)] * counts[r]
+        pattern += [ALL_LEVELS] * n_shared
+        return pattern
+
+    results = {}
+    for fraction in FRACTIONS:
+        def factory(machines, fraction=fraction):
+            return VectorSimulation(
+                machines, config=SlackVMConfig(), policy="progress",
+                fail_fast=True, host_levels=host_plan(len(machines), fraction),
+            )
+
+        sized = minimal_cluster(workload, SIM_WORKER,
+                                simulation_factory=factory)
+        results[fraction] = sized.pms
+    return baseline_total, results
+
+
+def test_adoption_sweep(benchmark):
+    baseline_total, results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [f"{f:.0%}", pms, f"{100.0 * (baseline_total - pms) / baseline_total:.1f}"]
+        for f, pms in results.items()
+    ]
+    publish(
+        "adoption_sweep",
+        f"Adoption sweep — SlackVM share of the fleet (OVHcloud {MIX}; "
+        f"dedicated baseline {baseline_total} PMs)\n"
+        + format_table(["SlackVM PMs share", "fleet size", "saved vs dedicated (%)"],
+                       rows),
+    )
+    # Full adoption must not be worse than zero adoption...
+    assert results[1.0] <= results[0.0]
+    # ...and zero adoption reproduces the dedicated baseline closely
+    # (same First-Fit packing, modulo the progress policy's choices).
+    assert abs(results[0.0] - baseline_total) <= 2
+    # Partial adoption already captures part of the gain.
+    assert results[0.5] <= results[0.0]

@@ -1,0 +1,45 @@
+"""Performance benchmark — placement throughput of both engines.
+
+Not a paper figure: guards the repository's own performance claims.
+The vectorized engine must stay well ahead of the object path on
+cluster-scale scoring, since the Fig. 3/4 sweeps run hundreds of
+sizing simulations through it.
+"""
+
+import pytest
+
+from repro.core import SlackVMConfig
+from repro.hardware import MachineSpec
+from repro.scheduling import slackvm_scheduler
+from repro.simulator import Simulation, VectorSimulation, build_hosts
+from repro.workload import OVHCLOUD, WorkloadParams, generate_workload
+
+NUM_HOSTS = 60
+MACHINE = MachineSpec("bench-pm", 32, 128.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadParams(catalog=OVHCLOUD, level_mix="E",
+                       target_population=400, seed=0)
+    )
+
+
+def test_vector_engine_throughput(benchmark, workload):
+    machines = [MachineSpec(f"pm-{i}", 32, 128.0) for i in range(NUM_HOSTS)]
+
+    def run():
+        return VectorSimulation(machines, policy="progress").run(workload)
+
+    result = benchmark(run)
+    assert result.feasible
+
+
+def test_object_engine_throughput(benchmark, workload):
+    def run():
+        hosts = build_hosts(MACHINE, NUM_HOSTS, SlackVMConfig())
+        return Simulation(hosts, slackvm_scheduler()).run(workload)
+
+    result = benchmark(run)
+    assert result.feasible

@@ -1,0 +1,27 @@
+"""Table I — average vCPU & vRAM requests per VM (Azure, OVHcloud).
+
+Paper values: Azure 2.25 vCPUs / 4.8 GB; OVHcloud 3.24 vCPUs / 10.05 GB.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.analysis import render_table1, table1_row
+from repro.workload import PROVIDERS
+
+PAPER = {"azure": (2.25, 4.8), "ovhcloud": (3.24, 10.05)}
+
+
+def compute():
+    return {name: table1_row(cat) for name, cat in PROVIDERS.items()}
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rendered = render_table1(
+        {name: (r.mean_vcpus, r.mean_mem_gb) for name, r in rows.items()}
+    )
+    publish("table1", "Table I — mean vCPU & vRAM per VM\n" + rendered)
+    for name, (vcpu, vram) in PAPER.items():
+        assert rows[name].mean_vcpus == pytest.approx(vcpu, abs=0.005)
+        assert rows[name].mean_mem_gb == pytest.approx(vram, abs=0.01)

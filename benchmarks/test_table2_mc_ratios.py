@@ -1,0 +1,30 @@
+"""Table II — M/C ratio of oversubscribed VMs (GB per provisioned core).
+
+Paper values:
+    Azure    : 2.1 / 3.0 / 4.5 at 1:1 / 2:1 / 3:1
+    OVHcloud : 3.1 / 3.9 / 5.8
+"""
+
+import pytest
+
+from conftest import publish
+from repro.analysis import render_table2, table2_row
+from repro.workload import PROVIDERS
+
+PAPER = {
+    "azure": {1.0: 2.1, 2.0: 3.0, 3.0: 4.5},
+    "ovhcloud": {1.0: 3.1, 2.0: 3.9, 3.0: 5.8},
+}
+
+
+def compute():
+    return {name: table2_row(cat) for name, cat in PROVIDERS.items()}
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rendered = render_table2({name: r.ratios for name, r in rows.items()})
+    publish("table2", "Table II — M/C ratio per oversubscription level\n" + rendered)
+    for name, expected in PAPER.items():
+        for level, value in expected.items():
+            assert rows[name].ratios[level] == pytest.approx(value, abs=0.05)

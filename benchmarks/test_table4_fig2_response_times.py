@@ -1,0 +1,61 @@
+"""Table IV & Figure 2 — p90 response times, dedicated vs co-hosted.
+
+Paper values (median of per-window p90s):
+    1:1 : 1.16 ms -> 1.27 ms (x1.09)
+    2:1 : 1.46 ms -> 1.65 ms (x1.13)
+    3:1 : 3.47 ms -> 7.67 ms (x2.21)
+
+We do not match the testbed's absolute milliseconds (our substrate is a
+queueing model, not a physical EPYC worker); the asserted *shape* is:
+baseline latency grows with the oversubscription level, premium 1:1 VMs
+are preserved under co-hosting, and the highest level pays a clearly
+larger penalty than the premium one.
+"""
+
+from conftest import RESULTS_DIR, publish
+from repro.analysis.export import export_fig2_csv
+import numpy as np
+
+from repro.analysis import boxplot, render_fig2, render_table4
+from repro.perfmodel import TestbedParams, run_testbed
+
+
+def compute():
+    return run_testbed(TestbedParams())
+
+
+def test_table4_and_fig2(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = result.table4()
+    rendered = render_table4(table)
+    publish("table4", "Table IV — median p90 response times (baseline vs SlackVM)\n" + rendered)
+    quartiles = {
+        "baseline": {k: v.quartiles_ms() for k, v in result.baseline.items()},
+        "slackvm": {k: v.quartiles_ms() for k, v in result.slackvm.items()},
+    }
+    boxes = {}
+    for scenario, perfs in (("baseline", result.baseline),
+                            ("slackvm", result.slackvm)):
+        for level, perf in perfs.items():
+            ms = perf.p90s * 1e3
+            boxes[f"{scenario} {level}"] = tuple(
+                np.percentile(ms, [5, 25, 50, 75, 95])
+            )
+    publish(
+        "fig2",
+        "Figure 2 — p90 distribution quartiles (ms)\n" + render_fig2(quartiles)
+        + "\n\nFigure 2 — box plots (whiskers at p5/p95, log axis)\n"
+        + boxplot(boxes, width=48, log=True, unit="ms"),
+    )
+    export_fig2_csv(result, RESULTS_DIR / "fig2.csv")
+
+    # Shape assertions (see module docstring).
+    assert table["1:1"][0] <= table["2:1"][0] <= table["3:1"][0]
+    premium_overhead = table["1:1"][2]
+    highest_overhead = table["3:1"][2]
+    assert premium_overhead < 1.25  # premium preserved (paper: x1.09)
+    assert highest_overhead > 1.3  # highest level pays (paper: x2.21)
+    assert highest_overhead > premium_overhead
+    # Co-hosting fills one PM with all three levels in ~equal shares.
+    counts = result.slackvm_vm_counts
+    assert max(counts.values()) - min(counts.values()) <= 2

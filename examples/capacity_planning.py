@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Capacity planning: size a cluster for a workload trace.
+
+Shows the trace-file workflow a provider would use: generate (or load)
+a JSONL trace, compute the theoretical lower bound, then size minimal
+clusters under several scheduling policies and compare.
+
+Run: python examples/capacity_planning.py [trace.jsonl]
+     (without an argument a demo trace is generated and saved to
+     /tmp/slackvm_demo_trace.jsonl)
+"""
+
+import sys
+from pathlib import Path
+
+from repro.hardware import SIM_WORKER
+from repro.simulator import demand_lower_bound, minimal_cluster
+from repro.workload import (
+    OVHCLOUD,
+    WorkloadParams,
+    generate_workload,
+    load_trace,
+    peak_population,
+    save_trace,
+)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+        workload = load_trace(path)
+        print(f"Loaded {len(workload)} VM lifecycles from {path}")
+    else:
+        path = Path("/tmp/slackvm_demo_trace.jsonl")
+        workload = generate_workload(
+            WorkloadParams(catalog=OVHCLOUD, level_mix="E",
+                           target_population=300, seed=7)
+        )
+        save_trace(workload, path)
+        print(f"Generated a demo trace ({len(workload)} VM lifecycles) -> {path}")
+
+    print(f"Peak concurrent population: {peak_population(workload)} VMs")
+    lb = demand_lower_bound(workload, SIM_WORKER)
+    print(f"Theoretical lower bound on {SIM_WORKER.name} "
+          f"({SIM_WORKER.cpus} CPUs / {SIM_WORKER.mem_gb:.0f} GB): {lb} PMs")
+    print()
+
+    print(f"{'policy':<20} {'PMs':>4} {'vs bound':>9} {'probes':>7}")
+    for policy in ("first_fit", "best_fit", "worst_fit", "progress"):
+        sized = minimal_cluster(workload, SIM_WORKER, policy=policy)
+        over = 100.0 * (sized.pms - lb) / lb
+        print(f"{policy:<20} {sized.pms:>4} {over:>+8.1f}% {len(sized.probes):>7}")
+    print()
+    print("('progress' is SlackVM's Algorithm 2 score; probes = sizing "
+          "simulations run by the search)")
+
+
+if __name__ == "__main__":
+    main()

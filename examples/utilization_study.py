@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Utilization study: how oversubscription converts reservations into work.
+
+The paper's motivation is the gap between what providers *allocate* and
+what tenants *use*.  This example places the same population of VMs at
+increasing oversubscription levels and measures, over a simulated week:
+
+* the physical CPU share reserved by vNodes (allocated);
+* the CPU share tenants actually demand (used);
+* the exposed vCPU share (how far the cluster is overcommitted);
+* the overcommit efficiency (used / allocated).
+
+Run: python examples/utilization_study.py
+"""
+
+from repro.analysis import cluster_utilization
+from repro.core import OversubscriptionLevel, SlackVMConfig
+from repro.hardware import MachineSpec
+from repro.simulator import VectorSimulation
+from repro.workload import AZURE, WorkloadParams, generate_workload, remap_levels
+
+NUM_HOSTS = 12
+MACHINE = MachineSpec("pm", 32, 128.0)
+
+
+def main() -> None:
+    base = generate_workload(
+        WorkloadParams(catalog=AZURE, level_mix=(0, 100, 0),
+                       target_population=150, seed=5)
+    )
+    print(f"Placing the same {len(base)} VM lifecycles at different "
+          f"oversubscription levels on {NUM_HOSTS} PMs "
+          f"({MACHINE.cpus}c/{MACHINE.mem_gb:.0f}GB):\n")
+    print(f"{'level':>6} {'allocated':>10} {'used':>7} {'exposed vCPU':>13} "
+          f"{'efficiency':>11} {'placed':>7}")
+    for ratio in (1.0, 2.0, 3.0, 4.0):
+        level = OversubscriptionLevel(ratio)
+        workload = [vm.with_level(level) for vm in base]
+        cfg = SlackVMConfig(levels=(level,))
+        machines = [MachineSpec(f"pm-{i}", MACHINE.cpus, MACHINE.mem_gb)
+                    for i in range(NUM_HOSTS)]
+        result = VectorSimulation(machines, config=cfg, policy="first_fit").run(workload)
+        report = cluster_utilization(workload, result)
+        placed = len(result.placements)
+        print(f"{level.name:>6} {report.allocated_cpu_share:>9.1%} "
+              f"{report.used_cpu_share:>6.1%} {report.exposed_vcpu_share:>12.1%} "
+              f"{report.overcommit_efficiency:>10.1%} {placed:>7}")
+    print()
+    print("Reading: higher levels reserve fewer physical CPUs for the same "
+          "exposed vCPUs, so a larger share of the reservation does real "
+          "work — the utilization motive behind oversubscription (§I).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerate every paper artifact into one consolidated report.
+
+A thin orchestrator over the same code paths the benches use; writes
+``REPORT.md`` (default) with every table and figure, ready to diff
+against EXPERIMENTS.md.
+
+Run: python scripts/reproduce_all.py [--fast] [-o REPORT.md]
+     (--fast uses smaller populations/durations; ~30 s instead of ~2 min)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    fig3_series,
+    fig4_grid,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table4,
+    table1_row,
+    table2_row,
+)
+from repro.perfmodel import TestbedParams, run_testbed
+from repro.workload import AZURE, OVHCLOUD, PROVIDERS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller populations/durations")
+    parser.add_argument("-o", "--output", default="REPORT.md")
+    args = parser.parse_args()
+
+    population = 150 if args.fast else 500
+    duration = 600.0 if args.fast else 1800.0
+    seeds = (42,) if args.fast else (42, 7)
+    started = time.time()
+    sections: list[str] = ["# SlackVM reproduction report", ""]
+
+    def add(title: str, body: str) -> None:
+        sections.extend([f"## {title}", "", "```", body, "```", ""])
+        print(f"[{time.time() - started:6.1f}s] {title}")
+
+    t1 = {name: (r.mean_vcpus, r.mean_mem_gb)
+          for name, r in ((n, table1_row(c)) for n, c in PROVIDERS.items())}
+    add("Table I — mean vCPU & vRAM per VM", render_table1(t1))
+
+    t2 = {name: table2_row(cat).ratios for name, cat in PROVIDERS.items()}
+    add("Table II — M/C ratio per oversubscription level", render_table2(t2))
+
+    testbed = run_testbed(TestbedParams(duration=duration))
+    add("Table IV — median p90 response times", render_table4(testbed.table4()))
+    add("Figure 2 — p90 quartiles (ms)", render_fig2({
+        "baseline": {k: v.quartiles_ms() for k, v in testbed.baseline.items()},
+        "slackvm": {k: v.quartiles_ms() for k, v in testbed.slackvm.items()},
+    }))
+
+    fig3 = fig3_series(OVHCLOUD, target_population=population, seed=seeds[0])
+    add("Figure 3 — unallocated resources (OVHcloud)", render_fig3(fig3))
+
+    for catalog in (OVHCLOUD, AZURE):
+        grid = fig4_grid(catalog, target_population=population, seeds=seeds)
+        add(f"Figure 4 — PM savings % ({catalog.name})", render_fig4(grid))
+
+    out = Path(args.output)
+    out.write_text("\n".join(sections), encoding="utf-8")
+    print(f"\nWrote {out} in {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Paper analysis: ratio tables, experiment drivers, report rendering."""
+
+from repro.analysis.experiments import (
+    DistributionOutcome,
+    evaluate_distribution,
+    fig3_series,
+    fig4_grid,
+)
+from repro.analysis.ratios import (
+    LimitingFactor,
+    classify_levels,
+    limiting_factor,
+    table1_row,
+    table2_row,
+)
+from repro.analysis.ascii_charts import boxplot, grouped_hbar, hbar
+from repro.analysis.bounds import bfd_snapshot_bound, fractional_bound, peak_alive_set
+from repro.analysis.utilization import UtilizationReport, cluster_utilization
+from repro.analysis.reporting import (
+    format_table,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table4,
+)
+
+__all__ = [
+    "DistributionOutcome",
+    "evaluate_distribution",
+    "fig3_series",
+    "fig4_grid",
+    "LimitingFactor",
+    "classify_levels",
+    "limiting_factor",
+    "table1_row",
+    "table2_row",
+    "format_table",
+    "UtilizationReport",
+    "cluster_utilization",
+    "fractional_bound",
+    "bfd_snapshot_bound",
+    "peak_alive_set",
+    "hbar",
+    "grouped_hbar",
+    "boxplot",
+    "render_table1",
+    "render_table2",
+    "render_table4",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+]

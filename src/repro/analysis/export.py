@@ -1,0 +1,66 @@
+"""CSV exporters for the figure data.
+
+The benches print ASCII tables; these helpers additionally serialize
+the underlying series as CSV so downstream users can re-plot the
+figures with their own tooling (no plotting stack is bundled).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.experiments import DistributionOutcome
+from repro.perfmodel.testbed import TestbedResult
+from repro.workload.distributions import DISTRIBUTIONS
+
+__all__ = ["export_fig3_csv", "export_fig4_csv", "export_fig2_csv"]
+
+
+def export_fig3_csv(
+    outcomes: Mapping[str, DistributionOutcome], path: str | Path
+) -> None:
+    """One row per distribution: mix shares + unallocated shares."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        w = csv.writer(fh)
+        w.writerow([
+            "distribution", "share_1_1", "share_2_1", "share_3_1",
+            "baseline_cpu_unallocated", "baseline_mem_unallocated",
+            "slackvm_cpu_unallocated", "slackvm_mem_unallocated",
+        ])
+        for label, o in outcomes.items():
+            s1, s2, s3 = o.mix
+            w.writerow([
+                label, s1, s2, s3,
+                f"{o.baseline_unallocated.cpu:.6f}",
+                f"{o.baseline_unallocated.mem:.6f}",
+                f"{o.slackvm_unallocated.cpu:.6f}",
+                f"{o.slackvm_unallocated.mem:.6f}",
+            ])
+
+
+def export_fig4_csv(savings: Mapping[str, float], path: str | Path) -> None:
+    """One row per distribution: mix shares + PM savings percent."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        w = csv.writer(fh)
+        w.writerow(["distribution", "share_1_1", "share_2_1", "share_3_1",
+                    "pm_savings_percent"])
+        for label, value in savings.items():
+            s1, s2, s3 = DISTRIBUTIONS[label]
+            w.writerow([label, s1, s2, s3, f"{value:.4f}"])
+
+
+def export_fig2_csv(result: TestbedResult, path: str | Path) -> None:
+    """One row per (scenario, level) p90 sample — the Fig. 2 raw data."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        w = csv.writer(fh)
+        w.writerow(["scenario", "level", "p90_seconds"])
+        for scenario, perfs in (("baseline", result.baseline),
+                                ("slackvm", result.slackvm)):
+            for level, perf in perfs.items():
+                for sample in perf.p90s:
+                    w.writerow([scenario, level, f"{sample:.9f}"])

@@ -1,0 +1,220 @@
+"""``slackvm`` command-line interface.
+
+Exposes the library's main workflows without writing Python:
+
+* ``slackvm tables`` — print the catalog analysis (Tables I & II);
+* ``slackvm generate`` — write a workload trace (JSON Lines);
+* ``slackvm size`` — minimal-cluster sizing for a trace file;
+* ``slackvm evaluate`` — dedicated-vs-SlackVM comparison for one mix;
+* ``slackvm sweep`` — Figures 3 & 4 for a provider;
+* ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment.
+
+Every subcommand is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    fig3_series,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table4,
+    table1_row,
+    table2_row,
+)
+from repro.core.errors import ReproError
+from repro.hardware import SIM_WORKER, MachineSpec
+from repro.simulator import demand_lower_bound, minimal_cluster
+from repro.workload import (
+    DISTRIBUTIONS,
+    PROVIDERS,
+    WorkloadParams,
+    generate_workload,
+    load_trace,
+    peak_population,
+    save_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _machine(text: str) -> MachineSpec:
+    """Parse ``CPUS:MEM_GB`` (e.g. ``32:128``) into a machine spec."""
+    try:
+        cpus, mem = text.split(":")
+        return MachineSpec(name="cli-pm", cpus=int(cpus), mem_gb=float(mem))
+    except (ValueError, ReproError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected CPUS:MEM_GB (e.g. 32:128), got {text!r}: {exc}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slackvm",
+        description="SlackVM reproduction: pack VMs across oversubscription levels.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print the catalog analysis (Tables I & II)")
+
+    gen = sub.add_parser("generate", help="generate a workload trace (JSONL)")
+    gen.add_argument("--provider", choices=sorted(PROVIDERS), default="ovhcloud")
+    gen.add_argument("--mix", default="F",
+                     help=f"level mix, one of {'/'.join(DISTRIBUTIONS)} "
+                          "or S1,S2,S3 percent shares")
+    gen.add_argument("--population", type=int, default=500,
+                     help="target concurrent VMs (default 500)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True, help="output trace path")
+
+    size = sub.add_parser("size", help="size a minimal cluster for a trace")
+    size.add_argument("trace", help="JSONL trace file")
+    size.add_argument("--policy", default="progress",
+                      help="scheduling policy (default: progress)")
+    size.add_argument("--machine", type=_machine, default=SIM_WORKER,
+                      help="worker spec as CPUS:MEM_GB (default 32:128)")
+
+    ev = sub.add_parser("evaluate",
+                        help="compare dedicated clusters vs SlackVM for one mix")
+    ev.add_argument("--provider", choices=sorted(PROVIDERS), default="ovhcloud")
+    ev.add_argument("--mix", default="F")
+    ev.add_argument("--population", type=int, default=500)
+    ev.add_argument("--seed", type=int, default=42)
+    ev.add_argument("--policy", default="progress",
+                    help="shared-cluster policy (progress, progress_bestfit, "
+                         "first_fit, best_fit, worst_fit)")
+
+    sweep = sub.add_parser("sweep", help="run the Fig. 3/4 sweep for a provider")
+    sweep.add_argument("--provider", choices=sorted(PROVIDERS), default="ovhcloud")
+    sweep.add_argument("--population", type=int, default=250)
+    sweep.add_argument("--seed", type=int, default=42)
+
+    tb = sub.add_parser("testbed",
+                        help="run the Table IV / Fig. 2 isolation experiment")
+    tb.add_argument("--duration", type=float, default=1800.0)
+    tb.add_argument("--seed", type=int, default=2024)
+    return parser
+
+
+def _parse_mix(text: str):
+    if text.upper() in DISTRIBUTIONS:
+        return text.upper()
+    try:
+        s1, s2, s3 = (float(x) for x in text.split(","))
+        return (s1, s2, s3)
+    except ValueError:
+        raise SystemExit(
+            f"invalid mix {text!r}: use a letter A-O or 'S1,S2,S3' shares"
+        ) from None
+
+
+def _cmd_tables(_args) -> None:
+    t1 = {name: (r.mean_vcpus, r.mean_mem_gb)
+          for name, r in ((n, table1_row(c)) for n, c in PROVIDERS.items())}
+    print("Table I — mean vCPU & vRAM per VM")
+    print(render_table1(t1))
+    print()
+    t2 = {name: table2_row(cat).ratios for name, cat in PROVIDERS.items()}
+    print("Table II — M/C ratio per oversubscription level (GB/core)")
+    print(render_table2(t2))
+
+
+def _cmd_generate(args) -> None:
+    params = WorkloadParams(
+        catalog=PROVIDERS[args.provider],
+        level_mix=_parse_mix(args.mix),
+        target_population=args.population,
+        seed=args.seed,
+    )
+    workload = generate_workload(params)
+    save_trace(workload, args.output)
+    print(f"wrote {len(workload)} VM lifecycles to {args.output} "
+          f"(peak population {peak_population(workload)})")
+
+
+def _cmd_size(args) -> None:
+    workload = load_trace(args.trace)
+    print(f"loaded {len(workload)} VM lifecycles "
+          f"(peak population {peak_population(workload)})")
+    lb = demand_lower_bound(workload, args.machine)
+    sized = minimal_cluster(workload, args.machine, policy=args.policy)
+    print(f"machine: {args.machine.cpus} CPUs / {args.machine.mem_gb:g} GB "
+          f"(target ratio {args.machine.target_ratio:g})")
+    print(f"lower bound: {lb} PMs")
+    print(f"minimal cluster ({args.policy}): {sized.pms} PMs "
+          f"({len(sized.probes)} probe simulations)")
+
+
+def _cmd_evaluate(args) -> None:
+    from repro.analysis import evaluate_distribution
+
+    outcome = evaluate_distribution(
+        PROVIDERS[args.provider], _parse_mix(args.mix),
+        target_population=args.population, seed=args.seed,
+        policy=args.policy,
+    )
+    s1, s2, s3 = outcome.mix
+    print(f"provider {outcome.provider}, mix {s1:g}/{s2:g}/{s3:g} "
+          f"(1:1/2:1/3:1), {args.population} target VMs, seed {args.seed}")
+    for ratio, pms in sorted(outcome.baseline_pms_per_level.items()):
+        print(f"  dedicated {ratio:g}:1 cluster : {pms} PMs")
+    print(f"  baseline total          : {outcome.baseline_pms} PMs")
+    print(f"  SlackVM shared cluster  : {outcome.slackvm_pms} PMs")
+    print(f"  savings                 : {outcome.savings_percent:.1f}%")
+
+
+def _cmd_sweep(args) -> None:
+    catalog = PROVIDERS[args.provider]
+    outcomes = fig3_series(catalog, target_population=args.population,
+                           seed=args.seed)
+    print(f"Figure 3 — unallocated resources ({args.provider})")
+    print(render_fig3(outcomes))
+    print()
+    print(f"Figure 4 — PM savings % ({args.provider})")
+    print(render_fig4({k: o.savings_percent for k, o in outcomes.items()}))
+
+
+def _cmd_testbed(args) -> None:
+    from repro.perfmodel import TestbedParams, run_testbed
+
+    result = run_testbed(TestbedParams(duration=args.duration, seed=args.seed))
+    print("Table IV — median p90 response times")
+    print(render_table4(result.table4()))
+    print()
+    print("Figure 2 — p90 quartiles (ms)")
+    print(render_fig2({
+        "baseline": {k: v.quartiles_ms() for k, v in result.baseline.items()},
+        "slackvm": {k: v.quartiles_ms() for k, v in result.slackvm.items()},
+    }))
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "generate": _cmd_generate,
+    "size": _cmd_size,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "testbed": _cmd_testbed,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

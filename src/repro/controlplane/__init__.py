@@ -1,0 +1,10 @@
+"""Online control plane: the service view over a SlackVM cluster."""
+
+from repro.controlplane.controller import (
+    CloudController,
+    ClusterState,
+    VMState,
+    VMTicket,
+)
+
+__all__ = ["CloudController", "VMTicket", "VMState", "ClusterState"]

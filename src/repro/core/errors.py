@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type at API boundaries.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TopologyError",
+    "CapacityError",
+    "PlacementError",
+    "WorkloadError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class TopologyError(ReproError):
+    """A CPU-topology description is inconsistent or an operation on it
+    is impossible (e.g. requesting more cores than exist)."""
+
+
+class CapacityError(ReproError):
+    """A resource reservation exceeds the capacity of its container
+    (vNode, physical machine, or datacenter)."""
+
+
+class PlacementError(ReproError):
+    """No host can satisfy a VM deployment request."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or generator parameterization is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,21 @@
+"""Dynamic oversubscription levels (paper §VIII future work)."""
+
+from repro.dynamiclevels.cluster import (
+    DynamicLevelCluster,
+    DynamicLevelParams,
+    DynamicLevelSimulation,
+)
+from repro.dynamiclevels.predictor import (
+    MeanStdPredictor,
+    PercentilePredictor,
+    analytic_peak_demand,
+)
+
+__all__ = [
+    "DynamicLevelParams",
+    "DynamicLevelCluster",
+    "DynamicLevelSimulation",
+    "PercentilePredictor",
+    "MeanStdPredictor",
+    "analytic_peak_demand",
+]

@@ -1,0 +1,84 @@
+"""Peak-usage prediction for dynamic oversubscription (paper §VIII).
+
+The paper's vNodes use *static* levels and point to dynamically
+computed ones as future work, citing peak-prediction approaches: a
+usage percentile (Resource Central [24]) or mean + k·std (Borg-style
+[1]).  This module provides both estimators plus an *analytic* per-VM
+peak derived from the workload model's usage profiles — the signal the
+dynamic-level cluster uses when sizing vNodes by predicted demand
+instead of the worst-case vCPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.types import VMRequest
+
+__all__ = [
+    "PercentilePredictor",
+    "MeanStdPredictor",
+    "analytic_peak_demand",
+]
+
+
+@dataclass(frozen=True)
+class PercentilePredictor:
+    """Predict peak usage as a high percentile of observed samples."""
+
+    percentile: float = 99.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile <= 100:
+            raise ConfigError(f"percentile must be in (0,100], got {self.percentile}")
+
+    def predict(self, samples: np.ndarray) -> float:
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise ConfigError("cannot predict from an empty sample window")
+        return float(np.percentile(samples, self.percentile))
+
+
+@dataclass(frozen=True)
+class MeanStdPredictor:
+    """Predict peak usage as mean + k standard deviations."""
+
+    k: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ConfigError(f"k must be >= 0, got {self.k}")
+
+    def predict(self, samples: np.ndarray) -> float:
+        samples = np.asarray(samples, dtype=float)
+        if samples.size == 0:
+            raise ConfigError("cannot predict from an empty sample window")
+        return float(samples.mean() + self.k * samples.std())
+
+
+#: Diurnal amplitude used by the interactive usage profile (must track
+#: repro.workload.usage.InteractiveProfile's default).
+_INTERACTIVE_AMPLITUDE = 0.5
+
+
+def analytic_peak_demand(vm: VMRequest, safety: float = 1.1) -> float:
+    """Upper bound on a VM's CPU demand, in physical cores.
+
+    Derived from the closed-form peak of its usage profile (the same
+    model :mod:`repro.perfmodel` drives), inflated by a ``safety``
+    margin, and never exceeding the vCPU count.
+    """
+    if safety < 1.0:
+        raise ConfigError(f"safety margin must be >= 1, got {safety}")
+    if vm.usage_kind == "idle":
+        peak_util = 0.05
+    elif vm.usage_kind == "stress":
+        peak_util = vm.usage_param
+    elif vm.usage_kind == "interactive":
+        peak_util = vm.usage_param * (1.0 + _INTERACTIVE_AMPLITUDE)
+    else:
+        peak_util = 1.0  # unknown behaviour: assume the worst
+    return min(float(vm.spec.vcpus), peak_util * safety * vm.spec.vcpus)

@@ -1,0 +1,96 @@
+"""Topology (de)serialization.
+
+Real deployments describe their machines once and reuse the
+description; this module round-trips :class:`~repro.hardware.topology.Topology`
+objects through plain dicts / JSON files so custom hardware can be
+declared as data (one entry per logical CPU, mirroring what Linux
+exposes under ``/sys/devices/system/cpu``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import TopologyError
+from repro.hardware.topology import CpuInfo, Topology
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology", "load_topology"]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """A JSON-compatible description of a topology."""
+    return {
+        "version": _FORMAT_VERSION,
+        "cpus": [
+            {
+                "cpu_id": c.cpu_id,
+                "physical_core": c.physical_core,
+                "socket": c.socket,
+                "numa_node": c.numa_node,
+                "cache_ids": list(c.cache_ids),
+            }
+            for c in topology.cpus()
+        ],
+        "numa_distances": [
+            [
+                float(topology.numa_distance(_first_cpu(topology, a),
+                                             _first_cpu(topology, b)))
+                for b in range(topology.num_numa_nodes)
+            ]
+            for a in range(topology.num_numa_nodes)
+        ],
+    }
+
+
+def _first_cpu(topology: Topology, node: int) -> int:
+    for c in topology.cpus():
+        if c.numa_node == node:
+            return c.cpu_id
+    raise TopologyError(f"no CPU on NUMA node {node}")
+
+
+def topology_from_dict(data: dict) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    if not isinstance(data, dict) or "cpus" not in data:
+        raise TopologyError("invalid topology description: missing 'cpus'")
+    version = data.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise TopologyError(f"unsupported topology format version {version}")
+    try:
+        cpus = [
+            CpuInfo(
+                cpu_id=int(row["cpu_id"]),
+                physical_core=int(row["physical_core"]),
+                socket=int(row["socket"]),
+                numa_node=int(row["numa_node"]),
+                cache_ids=tuple(int(x) for x in row["cache_ids"]),
+            )
+            for row in data["cpus"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TopologyError(f"invalid CPU row in topology description: {exc}") from exc
+    if "numa_distances" not in data:
+        raise TopologyError("invalid topology description: missing 'numa_distances'")
+    distances = np.asarray(data["numa_distances"], dtype=float)
+    cpus.sort(key=lambda c: c.cpu_id)
+    return Topology(cpus, distances)
+
+
+def save_topology(topology: Topology, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(topology_to_dict(topology), indent=2), encoding="utf-8"
+    )
+
+
+def load_topology(path: str | Path) -> Topology:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"{path}: invalid JSON: {exc}") from exc
+    return topology_from_dict(data)

@@ -1,0 +1,274 @@
+"""CPU-topology model: sockets, NUMA nodes, cache hierarchy, SMT.
+
+The SlackVM local scheduler reasons about *core proximity* through the
+cache hierarchy (paper §V-A).  This module provides a synthetic but
+faithful topology description, able to model both AMD EPYC-style
+segmented last-level caches (small CCX groups sharing an L3) and
+Intel-style monolithic LLCs, with or without SMT.
+
+A :class:`Topology` exposes, for every *logical* CPU (thread):
+
+* its physical core id (SMT siblings share one),
+* its socket and NUMA node,
+* the id of the cache it belongs to at each level (L1..Ln).
+
+Cache-zone ids are globally unique so two cores share a cache level iff
+their ids at that level are equal — exactly the information Linux
+exposes through sysfs and that Algorithm 1 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import TopologyError
+
+__all__ = ["CpuInfo", "Topology", "build_topology", "epyc_7662_dual", "xeon_8280_dual", "small_smp"]
+
+
+@dataclass(frozen=True, slots=True)
+class CpuInfo:
+    """Description of one logical CPU (hardware thread)."""
+
+    cpu_id: int
+    physical_core: int
+    socket: int
+    numa_node: int
+    #: cache-zone id per level, index 0 = L1 ... index n-1 = LLC.
+    cache_ids: tuple[int, ...]
+
+
+class Topology:
+    """An immutable machine CPU topology.
+
+    Parameters
+    ----------
+    cpus:
+        Per-logical-CPU descriptions.  Must be contiguous ids from 0.
+    numa_distances:
+        Square matrix of Linux-style NUMA distances (10 = local).
+    """
+
+    def __init__(self, cpus: Sequence[CpuInfo], numa_distances: np.ndarray):
+        cpus = list(cpus)
+        if not cpus:
+            raise TopologyError("a topology needs at least one CPU")
+        if [c.cpu_id for c in cpus] != list(range(len(cpus))):
+            raise TopologyError("cpu ids must be contiguous from 0")
+        heights = {len(c.cache_ids) for c in cpus}
+        if len(heights) != 1:
+            raise TopologyError("all CPUs must report the same cache height")
+        nodes = {c.numa_node for c in cpus}
+        dist = np.asarray(numa_distances, dtype=float)
+        if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+            raise TopologyError("numa_distances must be square")
+        if max(nodes) >= dist.shape[0]:
+            raise TopologyError("numa_distances smaller than the node count")
+        self._cpus: tuple[CpuInfo, ...] = tuple(cpus)
+        self._numa = dist
+        self._height = heights.pop()
+        self._distance_matrix: np.ndarray | None = None
+        self._siblings: dict[int, tuple[int, ...]] = {}
+        by_phys: dict[int, list[int]] = {}
+        for c in cpus:
+            by_phys.setdefault(c.physical_core, []).append(c.cpu_id)
+        for ids in by_phys.values():
+            t = tuple(sorted(ids))
+            for i in t:
+                self._siblings[i] = t
+
+    # -- basic accessors -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cpus)
+
+    @property
+    def num_cpus(self) -> int:
+        """Number of logical CPUs (threads)."""
+        return len(self._cpus)
+
+    @property
+    def num_physical_cores(self) -> int:
+        return len({c.physical_core for c in self._cpus})
+
+    @property
+    def smt_factor(self) -> int:
+        """Threads per physical core (1 when SMT is off)."""
+        return self.num_cpus // self.num_physical_cores
+
+    @property
+    def cache_height(self) -> int:
+        """Number of cache levels described (e.g. 3 for L1/L2/L3)."""
+        return self._height
+
+    @property
+    def num_sockets(self) -> int:
+        return len({c.socket for c in self._cpus})
+
+    @property
+    def num_numa_nodes(self) -> int:
+        return len({c.numa_node for c in self._cpus})
+
+    def cpu(self, cpu_id: int) -> CpuInfo:
+        return self._cpus[cpu_id]
+
+    def cpus(self) -> tuple[CpuInfo, ...]:
+        return self._cpus
+
+    def cache_id(self, level: int, cpu_id: int) -> int:
+        """Cache-zone id of ``cpu_id`` at 1-based cache ``level``."""
+        if not 1 <= level <= self._height:
+            raise TopologyError(f"cache level {level} out of range 1..{self._height}")
+        return self._cpus[cpu_id].cache_ids[level - 1]
+
+    def siblings_of(self, cpu_id: int) -> tuple[int, ...]:
+        """All logical CPUs sharing ``cpu_id``'s physical core (incl. itself)."""
+        return self._siblings[cpu_id]
+
+    def physical_core_of(self, cpu_id: int) -> int:
+        return self._cpus[cpu_id].physical_core
+
+    def physical_cores_spanned(self, cpu_ids: Iterable[int]) -> int:
+        """Number of distinct physical cores covered by ``cpu_ids``."""
+        return len({self._cpus[c].physical_core for c in cpu_ids})
+
+    def numa_distance(self, cpu0: int, cpu1: int) -> float:
+        return float(self._numa[self._cpus[cpu0].numa_node, self._cpus[cpu1].numa_node])
+
+    # -- Algorithm 1 -----------------------------------------------------
+
+    def core_distance(self, cpu0: int, cpu1: int) -> float:
+        """Distance between two logical CPUs (paper Algorithm 1).
+
+        Walk the cache hierarchy from the closest level up; every level
+        at which the two CPUs do *not* share a cache adds 10 (the same
+        order of magnitude as Linux NUMA distances, per the paper).  If
+        no cache is shared at any level, the NUMA distance is added on
+        top.  Level 0 is the physical core itself, so SMT siblings are
+        at distance 0.
+        """
+        a, b = self._cpus[cpu0], self._cpus[cpu1]
+        if a.physical_core == b.physical_core:
+            return 0.0
+        distance = 10.0  # level 0 (the core) differs
+        for level in range(self._height):
+            if a.cache_ids[level] == b.cache_ids[level]:
+                return distance
+            distance += 10.0
+        return distance + float(self._numa[a.numa_node, b.numa_node])
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full pairwise distance matrix (cached; vectorized build)."""
+        if self._distance_matrix is None:
+            n = self.num_cpus
+            phys = np.array([c.physical_core for c in self._cpus])
+            nodes = np.array([c.numa_node for c in self._cpus])
+            # Start assuming nothing shared: 10 * (height + 1) + NUMA.
+            dist = np.full((n, n), 10.0 * (self._height + 1)) + self._numa[
+                np.ix_(nodes, nodes)
+            ]
+            # Shared cache at level l (1-based) => distance 10 * l, take
+            # the innermost (smallest) level that matches.
+            for level in range(self._height - 1, -1, -1):
+                ids = np.array([c.cache_ids[level] for c in self._cpus])
+                shared = ids[:, None] == ids[None, :]
+                dist[shared] = 10.0 * (level + 1)
+            dist[phys[:, None] == phys[None, :]] = 0.0
+            self._distance_matrix = dist
+        return self._distance_matrix
+
+
+def build_topology(
+    *,
+    sockets: int = 1,
+    cores_per_socket: int = 8,
+    smt: int = 1,
+    llc_group: int | None = None,
+    l2_group: int = 1,
+    numa_per_socket: int = 1,
+    remote_numa_distance: float = 32.0,
+    local_numa_distance: float = 10.0,
+) -> Topology:
+    """Construct a synthetic topology.
+
+    Parameters
+    ----------
+    llc_group:
+        Physical cores sharing one last-level cache.  ``None`` means the
+        whole socket shares the LLC (monolithic, Intel-style); a small
+        value (e.g. 4) models AMD CCX-style segmented L3.
+    l2_group:
+        Physical cores sharing one L2 (1 = private L2).
+    smt:
+        Hardware threads per physical core.
+    """
+    if sockets < 1 or cores_per_socket < 1 or smt < 1:
+        raise TopologyError("sockets, cores_per_socket and smt must be >= 1")
+    if numa_per_socket < 1 or cores_per_socket % numa_per_socket:
+        raise TopologyError("numa_per_socket must divide cores_per_socket")
+    if llc_group is None:
+        llc_group = cores_per_socket
+    if llc_group < 1 or l2_group < 1:
+        raise TopologyError("cache group sizes must be >= 1")
+
+    cpus: list[CpuInfo] = []
+    cores_per_node = cores_per_socket // numa_per_socket
+    total_nodes = sockets * numa_per_socket
+    cpu_id = 0
+    # Cache ids are allocated from disjoint ranges per level to keep them
+    # globally unique (a core's L1 id can never collide with an L3 id).
+    for sock in range(sockets):
+        for core in range(cores_per_socket):
+            phys = sock * cores_per_socket + core
+            node = sock * numa_per_socket + core // cores_per_node
+            l1 = phys  # private L1 per physical core
+            l2 = 1_000_000 + sock * cores_per_socket + core // l2_group
+            l3 = 2_000_000 + sock * cores_per_socket + core // llc_group
+            for _thread in range(smt):
+                cpus.append(
+                    CpuInfo(
+                        cpu_id=cpu_id,
+                        physical_core=phys,
+                        socket=sock,
+                        numa_node=node,
+                        cache_ids=(l1, l2, l3),
+                    )
+                )
+                cpu_id += 1
+    numa = np.full((total_nodes, total_nodes), remote_numa_distance)
+    np.fill_diagonal(numa, local_numa_distance)
+    # Nodes within one socket are closer than cross-socket.
+    for sock in range(sockets):
+        lo, hi = sock * numa_per_socket, (sock + 1) * numa_per_socket
+        numa[lo:hi, lo:hi] = (local_numa_distance + remote_numa_distance) / 2
+        np.fill_diagonal(numa[lo:hi, lo:hi], local_numa_distance)
+    return Topology(cpus, numa)
+
+
+def epyc_7662_dual() -> Topology:
+    """The paper's testbed CPU (Table III): 2× AMD EPYC 7662.
+
+    64 physical cores per socket, SMT 2 (256 threads total), L3 shared
+    by CCX groups of 4 cores, one NUMA node per socket (NPS1).
+    """
+    return build_topology(
+        sockets=2,
+        cores_per_socket=64,
+        smt=2,
+        llc_group=4,
+        l2_group=1,
+        numa_per_socket=1,
+    )
+
+
+def xeon_8280_dual() -> Topology:
+    """A monolithic-LLC contrast machine: 2×28 cores, SMT 2."""
+    return build_topology(sockets=2, cores_per_socket=28, smt=2, llc_group=28)
+
+
+def small_smp(cores: int = 8, smt: int = 1) -> Topology:
+    """A small single-socket machine, handy for tests and examples."""
+    return build_topology(sockets=1, cores_per_socket=cores, smt=smt, llc_group=4)

@@ -1,0 +1,39 @@
+"""SlackVM local scheduler: vNodes, topology-driven allocation, pinning."""
+
+from repro.localsched.agent import DeployPlan, LocalScheduler, Placement
+from repro.localsched.allocator import CoreAllocator
+from repro.localsched.drivers import (
+    DriverOp,
+    HypervisorDriver,
+    NullDriver,
+    RecordingDriver,
+)
+from repro.localsched.numa_memory import NumaMemoryPlan, NumaMemoryPlanner
+from repro.localsched.pinning import (
+    PinningPlan,
+    VirtualTopology,
+    pinning_plan,
+    shared_llc_violations,
+    virtual_topology,
+)
+from repro.localsched.vnode import HostedVM, VNode
+
+__all__ = [
+    "LocalScheduler",
+    "DeployPlan",
+    "Placement",
+    "CoreAllocator",
+    "HypervisorDriver",
+    "NullDriver",
+    "RecordingDriver",
+    "DriverOp",
+    "NumaMemoryPlan",
+    "NumaMemoryPlanner",
+    "VNode",
+    "HostedVM",
+    "PinningPlan",
+    "VirtualTopology",
+    "pinning_plan",
+    "virtual_topology",
+    "shared_llc_violations",
+]

@@ -1,0 +1,92 @@
+"""Hypervisor driver interface (the libvirt boundary of §IV/§V).
+
+The paper's local scheduler "interfaces with the hypervisor using the
+libvirt library ... with QEMU/KVM due to its native support for dynamic
+CPU pinning changes".  This module defines that boundary so the agent's
+decisions translate into an explicit operation stream:
+
+* ``create_vm`` — define & start a domain pinned to its vNode's CPUs;
+* ``destroy_vm`` — stop & undefine a domain;
+* ``repin_vm`` — extend/shrink a running domain's pinning when its
+  vNode resizes (the dynamic capability the paper relies on).
+
+:class:`RecordingDriver` captures the stream for tests and dry runs —
+the repository has no hypervisor to talk to — and is the template for a
+real libvirt implementation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.types import VMRequest
+
+__all__ = ["HypervisorDriver", "NullDriver", "RecordingDriver", "DriverOp"]
+
+
+class HypervisorDriver(ABC):
+    """Translates local-scheduler decisions into hypervisor actions."""
+
+    @abstractmethod
+    def create_vm(self, vm: VMRequest, cpu_ids: Sequence[int]) -> None:
+        """Define and start ``vm`` pinned to ``cpu_ids``."""
+
+    @abstractmethod
+    def destroy_vm(self, vm_id: str) -> None:
+        """Stop and undefine ``vm_id``."""
+
+    @abstractmethod
+    def repin_vm(self, vm_id: str, cpu_ids: Sequence[int]) -> None:
+        """Change a running domain's CPU pinning to ``cpu_ids``."""
+
+
+class NullDriver(HypervisorDriver):
+    """No-op driver (pure accounting mode)."""
+
+    def create_vm(self, vm: VMRequest, cpu_ids: Sequence[int]) -> None:
+        pass
+
+    def destroy_vm(self, vm_id: str) -> None:
+        pass
+
+    def repin_vm(self, vm_id: str, cpu_ids: Sequence[int]) -> None:
+        pass
+
+
+@dataclass(frozen=True, slots=True)
+class DriverOp:
+    """One recorded hypervisor operation."""
+
+    action: str  # "create" | "destroy" | "repin"
+    vm_id: str
+    cpu_ids: tuple[int, ...] = ()
+
+
+@dataclass
+class RecordingDriver(HypervisorDriver):
+    """Records every operation; the test double for the libvirt layer."""
+
+    ops: list[DriverOp] = field(default_factory=list)
+
+    def create_vm(self, vm: VMRequest, cpu_ids: Sequence[int]) -> None:
+        self.ops.append(DriverOp("create", vm.vm_id, tuple(cpu_ids)))
+
+    def destroy_vm(self, vm_id: str) -> None:
+        self.ops.append(DriverOp("destroy", vm_id))
+
+    def repin_vm(self, vm_id: str, cpu_ids: Sequence[int]) -> None:
+        self.ops.append(DriverOp("repin", vm_id, tuple(cpu_ids)))
+
+    def actions(self, action: str | None = None) -> list[DriverOp]:
+        if action is None:
+            return list(self.ops)
+        return [op for op in self.ops if op.action == action]
+
+    def pinning_of(self, vm_id: str) -> tuple[int, ...]:
+        """The VM's pinning after the last relevant operation."""
+        for op in reversed(self.ops):
+            if op.vm_id == vm_id and op.action in ("create", "repin"):
+                return op.cpu_ids
+        raise KeyError(f"no pinning recorded for {vm_id}")

@@ -1,0 +1,136 @@
+"""NUMA-local memory placement (paper §VIII memory-partitioning lead).
+
+The paper's conclusion singles out memory isolation between VM groups
+as "a compelling area for further exploration".  This module provides
+the first building block: per-NUMA-node memory accounting over a
+topology-mode agent, so each vNode's memory is reserved on the nodes
+its CPUs live on whenever possible.
+
+The planner is deliberately *advisory*: it mirrors Linux's mbind
+preferred-node policy rather than a hard partition — memory spills to
+remote nodes when the local ones are full, and the quality of the
+outcome is measured (locality share) instead of enforced, matching how
+the paper treats memory as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import CapacityError, TopologyError
+from repro.localsched.agent import LocalScheduler
+from repro.localsched.vnode import VNode
+
+__all__ = ["NumaMemoryPlan", "NumaMemoryPlanner"]
+
+
+@dataclass(frozen=True)
+class NumaMemoryPlan:
+    """Memory reservation of one vNode across NUMA nodes (GB per node)."""
+
+    node_id: str
+    per_numa_gb: tuple[float, ...]
+    local_gb: float  # memory on nodes where the vNode has CPUs
+    remote_gb: float
+
+    @property
+    def total_gb(self) -> float:
+        return self.local_gb + self.remote_gb
+
+    @property
+    def locality(self) -> float:
+        """Share of the vNode's memory on its own NUMA nodes (1 = all local)."""
+        if self.total_gb == 0:
+            return 1.0
+        return self.local_gb / self.total_gb
+
+
+class NumaMemoryPlanner:
+    """Assign vNode memory to NUMA nodes, local-first.
+
+    Nodes are assumed to split the machine's memory evenly (the common
+    symmetric configuration); pass ``node_mem_gb`` for asymmetric
+    machines.
+    """
+
+    def __init__(self, agent: LocalScheduler, node_mem_gb: list[float] | None = None):
+        if agent.topology is None:
+            raise TopologyError("NUMA memory planning requires a topology-mode agent")
+        self.agent = agent
+        self.topology = agent.topology
+        n = self.topology.num_numa_nodes
+        if node_mem_gb is None:
+            self.node_mem = np.full(n, agent.machine.mem_gb / n)
+        else:
+            if len(node_mem_gb) != n:
+                raise TopologyError(
+                    f"expected {n} node sizes, got {len(node_mem_gb)}"
+                )
+            if abs(sum(node_mem_gb) - agent.machine.mem_gb) > 1e-6:
+                raise TopologyError(
+                    "per-node memory must sum to the machine's memory"
+                )
+            self.node_mem = np.asarray(node_mem_gb, dtype=float)
+
+    def _vnode_nodes(self, node: VNode) -> set[int]:
+        return {self.topology.cpu(c).numa_node for c in node.cpu_ids}
+
+    def plan(self) -> list[NumaMemoryPlan]:
+        """Greedy local-first assignment of every vNode's memory.
+
+        vNodes are processed largest-memory-first (the hardest to place
+        locally); each fills its own NUMA nodes before spilling to the
+        emptiest remote node.
+        """
+        free = self.node_mem.copy()
+        plans: list[NumaMemoryPlan] = []
+        vnodes = sorted(
+            self.agent.vnodes, key=lambda v: (-v.allocated_mem, v.node_id)
+        )
+        for node in vnodes:
+            demand = node.allocated_mem
+            if demand > free.sum() + 1e-9:
+                raise CapacityError(
+                    f"vNode {node.node_id} needs {demand} GB but only "
+                    f"{free.sum():.1f} GB remain across NUMA nodes"
+                )
+            per_numa = np.zeros_like(free)
+            local_nodes = sorted(self._vnode_nodes(node))
+            local_gb = 0.0
+            for n in local_nodes:
+                take = min(demand, free[n])
+                per_numa[n] += take
+                free[n] -= take
+                demand -= take
+                local_gb += take
+                if demand <= 1e-12:
+                    break
+            remote_gb = 0.0
+            while demand > 1e-12:
+                n = int(np.argmax(free))
+                if free[n] <= 1e-12:
+                    raise CapacityError("NUMA accounting ran out of memory")
+                take = min(demand, free[n])
+                per_numa[n] += take
+                free[n] -= take
+                demand -= take
+                remote_gb += take
+            plans.append(
+                NumaMemoryPlan(
+                    node_id=node.node_id,
+                    per_numa_gb=tuple(float(x) for x in per_numa),
+                    local_gb=local_gb,
+                    remote_gb=remote_gb,
+                )
+            )
+        return plans
+
+    def locality_share(self) -> float:
+        """Memory-weighted locality across all vNodes (1 = fully local)."""
+        plans = self.plan()
+        total = sum(p.total_gb for p in plans)
+        if total == 0:
+            return 1.0
+        return sum(p.local_gb for p in plans) / total

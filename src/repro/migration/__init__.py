@@ -1,0 +1,10 @@
+"""Live-migration extension (paper future work §VIII)."""
+
+from repro.migration.rebalancer import (
+    MigratingSimulation,
+    Migration,
+    RebalanceReport,
+    Rebalancer,
+)
+
+__all__ = ["Migration", "RebalanceReport", "Rebalancer", "MigratingSimulation"]

@@ -1,0 +1,35 @@
+"""Performance model: CPU fair-sharing, SMT capacity, latency, testbed."""
+
+from repro.perfmodel.apps import LatencyParams, LatencyTracker, percentile_windows
+from repro.perfmodel.churn import ChurnParams, ChurnResult, run_churn_testbed
+from repro.perfmodel.contention import ContentionGroup, GroupMember, GroupTick
+from repro.perfmodel.fairshare import water_fill, weighted_water_fill
+from repro.perfmodel.smt import CpuSetCapacity, cpu_set_capacity
+from repro.perfmodel.testbed import (
+    LevelPerf,
+    TestbedParams,
+    TestbedResult,
+    build_vm_population,
+    run_testbed,
+)
+
+__all__ = [
+    "water_fill",
+    "weighted_water_fill",
+    "CpuSetCapacity",
+    "cpu_set_capacity",
+    "ContentionGroup",
+    "GroupMember",
+    "GroupTick",
+    "LatencyParams",
+    "LatencyTracker",
+    "percentile_windows",
+    "TestbedParams",
+    "TestbedResult",
+    "LevelPerf",
+    "run_testbed",
+    "ChurnParams",
+    "ChurnResult",
+    "run_churn_testbed",
+    "build_vm_population",
+]

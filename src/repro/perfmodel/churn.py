@@ -1,0 +1,198 @@
+"""Churn testbed: performance isolation *while* vNodes resize.
+
+The static testbed (:mod:`repro.perfmodel.testbed`) fills the PM once
+and measures; this harness drives VM arrivals and departures through a
+topology-mode local scheduler during the measurement, exercising the
+paper's dynamic claims end-to-end:
+
+* vNodes grow and shrink with the workload, and re-pinning happens
+  *only* on deploy/destroy events (§V-A: "these changes occur only when
+  a VM is being deployed or destroyed");
+* LLC isolation between vNodes holds throughout the churn;
+* interactive response times per level stay in their static-testbed
+  bands even as the CPU sets move underneath the VMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SlackVMConfig
+from repro.core.errors import SimulationError
+from repro.core.types import OversubscriptionLevel, VMRequest
+from repro.localsched.agent import LocalScheduler
+from repro.localsched.pinning import shared_llc_violations
+from repro.perfmodel.apps import LatencyTracker
+from repro.perfmodel.contention import ContentionGroup, GroupMember
+from repro.perfmodel.smt import CpuSetCapacity
+from repro.perfmodel.testbed import TestbedParams, _draw_vm
+
+__all__ = ["ChurnParams", "ChurnResult", "run_churn_testbed"]
+
+
+@dataclass(frozen=True)
+class ChurnParams:
+    """Knobs of the churn experiment."""
+
+    __test__ = False  # not a pytest class
+
+    base: TestbedParams = field(default_factory=TestbedParams)
+    #: Target PM fill level before churn starts (fraction of the fill
+    #: the static testbed would reach).
+    warm_fill: float = 0.7
+    #: Mean seconds between churn events (one arrival or departure).
+    event_interval: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.warm_fill <= 1.0:
+            raise SimulationError("warm_fill must be in [0.1, 1]")
+        if self.event_interval <= 0:
+            raise SimulationError("event_interval must be positive")
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of one churn run."""
+
+    median_p90_ms: dict[str, float]
+    deploys: int
+    removals: int
+    pin_changes: int
+    max_llc_violations: int
+    final_vms: int
+
+    def isolation_held(self) -> bool:
+        return self.max_llc_violations == 0
+
+
+def run_churn_testbed(params: ChurnParams | None = None) -> ChurnResult:
+    """Run the co-hosted PM under arrival/departure churn."""
+    params = params or ChurnParams()
+    base = params.base
+    rng = np.random.default_rng(base.seed)
+    topology = base.machine.build_topology()
+    pm_capacity = CpuSetCapacity(
+        threads=topology.num_cpus,
+        physical=topology.num_physical_cores,
+        smt_speedup=base.smt_speedup,
+    )
+    agent = LocalScheduler(
+        base.machine, SlackVMConfig(levels=base.levels, pooling=False),
+        topology=topology,
+    )
+    restricted = base.catalog.restricted()
+
+    alive: dict[str, VMRequest] = {}
+    members: dict[str, GroupMember] = {}
+    trackers: dict[str, LatencyTracker] = {}
+    counter = 0
+
+    def try_deploy(level: OversubscriptionLevel) -> bool:
+        nonlocal counter
+        vm = _draw_vm(base.catalog, restricted, level, base, rng, counter)
+        counter += 1
+        if not agent.can_deploy(vm):
+            return False
+        agent.deploy(vm)
+        alive[vm.vm_id] = vm
+        members[vm.vm_id] = GroupMember.from_request(vm, phase=float(rng.uniform()))
+        if vm.usage_kind == "interactive":
+            trackers[vm.vm_id] = LatencyTracker(
+                params=base.latency, vm_id=vm.vm_id, vcpus=vm.spec.vcpus, rng=rng
+            )
+        return True
+
+    # Warm fill: round-robin levels until the requested fraction of the
+    # machine's CPUs is reserved.
+    target_cpus = params.warm_fill * base.machine.cpus
+    while agent.allocated_cpus < target_cpus:
+        level = base.levels[counter % len(base.levels)]
+        if not try_deploy(level):
+            break
+
+    deploys = removals = 0
+    max_violations = 0
+    next_event = rng.exponential(params.event_interval)
+    groups: dict[float, ContentionGroup] = {}
+    dirty = True  # groups must be rebuilt after membership changes
+
+    def rebuild_groups() -> None:
+        groups.clear()
+        for level in base.levels:
+            node = agent.vnode_for(level)
+            if node is None:
+                continue
+            cpu_ids = node.cpu_ids
+            cap = CpuSetCapacity(
+                threads=len(cpu_ids),
+                physical=topology.physical_cores_spanned(cpu_ids),
+                smt_speedup=base.smt_speedup,
+            )
+            groups[level.ratio] = ContentionGroup(
+                cap,
+                [members[vm_id] for vm_id in node.vm_ids],
+                rng=rng,
+                noise_sigma=base.demand_noise_sigma,
+            )
+
+    times = np.arange(0.0, base.duration, base.dt)
+    for t in times:
+        # Churn events between ticks.
+        while next_event <= t:
+            next_event += rng.exponential(params.event_interval)
+            if alive and rng.uniform() < 0.5:
+                victim = sorted(alive)[int(rng.integers(len(alive)))]
+                agent.remove(victim)
+                alive.pop(victim)
+                members.pop(victim)
+                trackers.pop(victim, None)
+                removals += 1
+                dirty = True
+            else:
+                level = base.levels[int(rng.integers(len(base.levels)))]
+                if try_deploy(level):
+                    deploys += 1
+                    dirty = True
+        if dirty:
+            rebuild_groups()
+            max_violations = max(max_violations, shared_llc_violations(agent))
+            dirty = False
+        ticks = {ratio: g.step(float(t)) for ratio, g in groups.items()}
+        delivered = sum(tk.total_allocation for tk in ticks.values())
+        pm_util = min(1.0, delivered / pm_capacity.max_throughput)
+        for ratio, group in groups.items():
+            tick = ticks[ratio]
+            slowdowns = tick.slowdowns
+            for j, member in enumerate(group.members):
+                tracker = trackers.get(member.vm.vm_id)
+                if tracker is None:
+                    continue
+                tracker.observe(
+                    float(t), base.dt,
+                    float(tick.demands[j]), float(slowdowns[j]),
+                    tick.smt_pressure, pm_util,
+                    pool_utilization=tick.utilization,
+                    pool_size=group.capacity.physical,
+                )
+
+    medians: dict[str, float] = {}
+    for level in base.levels:
+        node = agent.vnode_for(level)
+        vm_ids = set(node.vm_ids) if node is not None else set()
+        p90s = [
+            tr.window_p90s()
+            for vm_id, tr in trackers.items()
+            if vm_id in vm_ids and tr.samples
+        ]
+        if p90s:
+            medians[level.name] = float(np.median(np.concatenate(p90s))) * 1e3
+    return ChurnResult(
+        median_p90_ms=medians,
+        deploys=deploys,
+        removals=removals,
+        pin_changes=agent.pin_generation,
+        max_llc_violations=max_violations,
+        final_vms=agent.num_vms,
+    )

@@ -1,0 +1,309 @@
+"""The physical-experiment harness (paper §VII-A, Table IV & Fig. 2).
+
+Reproduces the testbed study in simulation: one 2×EPYC-7662 worker
+(Table III) is filled with Azure-sized VMs — 10 % idle, 60 % CPU
+benchmark, 30 % interactive applications whose p90 response times are
+the measurement — under two scenarios:
+
+* **baseline** — three dedicated PMs, one per oversubscription level,
+  each packed to capacity with that level only, no pinning (every VM
+  may run anywhere on the machine);
+* **slackvm** — a single PM hosting all three levels concurrently
+  (≈ one third each), each level pinned to its topology-allocated
+  vNode.
+
+The response-time gap between the scenarios emerges from the model's
+mechanics: constrained vNode CPU sets activate SMT sibling pairs
+earlier than a whole free machine, and co-hosted neighbours add
+PM-level interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import SlackVMConfig
+from repro.core.errors import SimulationError
+from repro.core.types import (
+    DEFAULT_LEVELS,
+    OversubscriptionLevel,
+    VMRequest,
+)
+from repro.hardware.machine import EPYC_7662_DUAL, MachineSpec
+from repro.localsched.agent import LocalScheduler
+from repro.perfmodel.apps import LatencyParams, LatencyTracker
+from repro.perfmodel.contention import ContentionGroup, GroupMember
+from repro.perfmodel.smt import CpuSetCapacity
+from repro.workload.catalog import AZURE, Catalog
+from repro.workload.usage import DEFAULT_BEHAVIOUR_SHARES
+
+__all__ = ["TestbedParams", "LevelPerf", "TestbedResult", "run_testbed", "build_vm_population"]
+
+
+@dataclass(frozen=True)
+class TestbedParams:
+    """Knobs of the testbed reproduction."""
+
+    __test__ = False  # not a pytest class, despite the Test* name
+
+    machine: MachineSpec = EPYC_7662_DUAL
+    catalog: Catalog = AZURE
+    levels: tuple[OversubscriptionLevel, ...] = DEFAULT_LEVELS
+    duration: float = 1800.0
+    dt: float = 1.0
+    smt_speedup: float = 1.3
+    latency: LatencyParams = field(default_factory=LatencyParams)
+    behaviour_shares: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_BEHAVIOUR_SHARES)
+    )
+    #: Beta parameters of per-VM utilisation draws (Azure-like: most VMs
+    #: use a small fraction of their vCPUs).
+    stress_util_beta: tuple[float, float] = (2.0, 7.0)
+    interactive_base_beta: tuple[float, float] = (2.0, 8.0)
+    #: Per-VM lognormal AR(1) demand burstiness (spreads Fig. 2's boxes).
+    demand_noise_sigma: float = 0.2
+    seed: int = 2024
+
+
+@dataclass
+class LevelPerf:
+    """Measured p90 distribution of one level in one scenario."""
+
+    scenario: str
+    level: OversubscriptionLevel
+    num_vms: int
+    num_interactive: int
+    p90s: np.ndarray
+
+    @property
+    def median_p90_ms(self) -> float:
+        if len(self.p90s) == 0:
+            raise SimulationError(
+                f"no latency samples for {self.scenario}/{self.level.name}"
+            )
+        return float(np.median(self.p90s)) * 1e3
+
+    def quartiles_ms(self) -> tuple[float, float, float]:
+        q1, q2, q3 = np.percentile(self.p90s, [25, 50, 75]) * 1e3
+        return float(q1), float(q2), float(q3)
+
+
+@dataclass
+class TestbedResult:
+    __test__ = False  # not a pytest class, despite the Test* name
+
+    baseline: dict[str, LevelPerf]
+    slackvm: dict[str, LevelPerf]
+    slackvm_vm_counts: dict[str, int]
+
+    def table4(self) -> dict[str, tuple[float, float, float]]:
+        """{level: (baseline ms, slackvm ms, overhead ratio)} — Table IV."""
+        out = {}
+        for name, base in self.baseline.items():
+            slack = self.slackvm[name]
+            b, s = base.median_p90_ms, slack.median_p90_ms
+            out[name] = (b, s, s / b)
+        return out
+
+
+def _draw_vm(
+    catalog: Catalog,
+    restricted: Catalog,
+    level: OversubscriptionLevel,
+    params: TestbedParams,
+    rng: np.random.Generator,
+    index: int,
+) -> VMRequest:
+    cat = catalog if level.is_premium else restricted
+    spec = cat.sample(rng)
+    kinds = sorted(params.behaviour_shares)
+    probs = np.array([params.behaviour_shares[k] for k in kinds])
+    kind = kinds[int(rng.choice(len(kinds), p=probs))]
+    if kind == "idle":
+        param = 0.0
+    elif kind == "stress":
+        a, b = params.stress_util_beta
+        param = float(np.clip(rng.beta(a, b), 0.02, 1.0))
+    else:
+        a, b = params.interactive_base_beta
+        param = float(np.clip(rng.beta(a, b), 0.05, 0.9))
+    return VMRequest(
+        vm_id=f"{level.name}-vm-{index:04d}",
+        spec=spec,
+        level=level,
+        usage_kind=kind,
+        usage_param=param,
+    )
+
+
+def build_vm_population(
+    level: OversubscriptionLevel,
+    params: TestbedParams,
+    rng: np.random.Generator,
+    agent: LocalScheduler,
+) -> list[VMRequest]:
+    """Fill ``agent`` with VMs of one level until the PM refuses one."""
+    restricted = params.catalog.restricted()
+    vms: list[VMRequest] = []
+    for i in range(100_000):
+        vm = _draw_vm(params.catalog, restricted, level, params, rng, i)
+        if not agent.can_deploy(vm):
+            break
+        agent.deploy(vm)
+        vms.append(vm)
+    return vms
+
+
+def _members(vms: Sequence[VMRequest], rng: np.random.Generator) -> list[GroupMember]:
+    # Per-VM diurnal phase: tenants live in different timezones.
+    return [GroupMember.from_request(vm, phase=float(rng.uniform())) for vm in vms]
+
+
+def _run_groups(
+    groups: list[tuple[OversubscriptionLevel, ContentionGroup]],
+    pm_capacity: CpuSetCapacity,
+    params: TestbedParams,
+    rng: np.random.Generator,
+) -> dict[str, list[LatencyTracker]]:
+    """Tick the PM's groups jointly, tracking interactive latencies."""
+    trackers: dict[str, list[LatencyTracker]] = {}
+    per_group_trackers: list[list[LatencyTracker | None]] = []
+    for level, group in groups:
+        row: list[LatencyTracker | None] = []
+        for m in group.members:
+            if m.vm.usage_kind == "interactive":
+                tr = LatencyTracker(
+                    params=params.latency,
+                    vm_id=m.vm.vm_id,
+                    vcpus=m.vm.spec.vcpus,
+                    rng=rng,
+                )
+                trackers.setdefault(level.name, []).append(tr)
+                row.append(tr)
+            else:
+                row.append(None)
+        per_group_trackers.append(row)
+    times = np.arange(0.0, params.duration, params.dt)
+    for t in times:
+        ticks = [group.step(float(t)) for _, group in groups]
+        delivered = sum(tk.total_allocation for tk in ticks)
+        pm_util = min(1.0, delivered / pm_capacity.max_throughput)
+        for (level, group), tick, row in zip(groups, ticks, per_group_trackers):
+            slowdowns = tick.slowdowns
+            for j, tr in enumerate(row):
+                if tr is None:
+                    continue
+                tr.observe(
+                    float(t),
+                    params.dt,
+                    float(tick.demands[j]),
+                    float(slowdowns[j]),
+                    tick.smt_pressure,
+                    pm_util,
+                    pool_utilization=tick.utilization,
+                    pool_size=group.capacity.physical,
+                )
+    return trackers
+
+
+def _collect(
+    scenario: str,
+    level: OversubscriptionLevel,
+    vms: Sequence[VMRequest],
+    trackers: list[LatencyTracker],
+) -> LevelPerf:
+    p90s = (
+        np.concatenate([tr.window_p90s() for tr in trackers])
+        if trackers
+        else np.array([])
+    )
+    return LevelPerf(
+        scenario=scenario,
+        level=level,
+        num_vms=len(vms),
+        num_interactive=len(trackers),
+        p90s=p90s,
+    )
+
+
+def run_testbed(params: TestbedParams | None = None) -> TestbedResult:
+    """Run both scenarios and return Table IV / Fig. 2 data."""
+    params = params or TestbedParams()
+    rng = np.random.default_rng(params.seed)
+    topology = params.machine.build_topology()
+    pm_capacity = CpuSetCapacity(
+        threads=topology.num_cpus,
+        physical=topology.num_physical_cores,
+        smt_speedup=params.smt_speedup,
+    )
+
+    baseline: dict[str, LevelPerf] = {}
+    for level in params.levels:
+        agent = LocalScheduler(
+            params.machine, SlackVMConfig(levels=(level,))
+        )
+        vms = build_vm_population(level, params, rng, agent)
+        group = ContentionGroup(
+            pm_capacity,
+            _members(vms, rng),
+            rng=rng,
+            noise_sigma=params.demand_noise_sigma,
+        )
+        trackers = _run_groups([(level, group)], pm_capacity, params, rng)
+        baseline[level.name] = _collect(
+            "baseline", level, vms, trackers.get(level.name, [])
+        )
+
+    # SlackVM: all levels co-hosted on one topology-aware PM, ~1/3 each.
+    config = SlackVMConfig(levels=params.levels, pooling=False)
+    agent = LocalScheduler(params.machine, config, topology=topology)
+    restricted = params.catalog.restricted()
+    per_level: dict[str, list[VMRequest]] = {lv.name: [] for lv in params.levels}
+    i = 0
+    exhausted = False
+    while not exhausted:
+        for level in params.levels:
+            vm = _draw_vm(params.catalog, restricted, level, params, rng, i)
+            i += 1
+            if not agent.can_deploy(vm):
+                exhausted = True
+                break
+            agent.deploy(vm)
+            per_level[level.name].append(vm)
+    groups: list[tuple[OversubscriptionLevel, ContentionGroup]] = []
+    for level in params.levels:
+        node = agent.vnode_for(level)
+        if node is None or not per_level[level.name]:
+            continue
+        cpu_ids = node.cpu_ids
+        cap = CpuSetCapacity(
+            threads=len(cpu_ids),
+            physical=topology.physical_cores_spanned(cpu_ids),
+            smt_speedup=params.smt_speedup,
+        )
+        groups.append(
+            (
+                level,
+                ContentionGroup(
+                    cap,
+                    _members(per_level[level.name], rng),
+                    rng=rng,
+                    noise_sigma=params.demand_noise_sigma,
+                ),
+            )
+        )
+    trackers = _run_groups(groups, pm_capacity, params, rng)
+    slackvm = {
+        level.name: _collect(
+            "slackvm", level, per_level[level.name], trackers.get(level.name, [])
+        )
+        for level, _ in groups
+    }
+    return TestbedResult(
+        baseline=baseline,
+        slackvm=slackvm,
+        slackvm_vm_counts={name: len(v) for name, v in per_level.items()},
+    )

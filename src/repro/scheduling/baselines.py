@@ -1,0 +1,85 @@
+"""Canonical scheduler configurations used across the evaluation.
+
+* :func:`first_fit_scheduler` — the paper's packing baseline (§VII-B):
+  fill existing servers before opening new ones.
+* :func:`slackvm_scheduler` — the progress-score scheduler of §VI,
+  with a first-fit tiebreak for determinism.
+* :func:`best_fit_scheduler` / :func:`worst_fit_scheduler` — classic
+  vector-bin-packing heuristics, for context in the ablations.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.global_scheduler import ScoreBasedScheduler
+from repro.scheduling.weighers import (
+    BestFitWeigher,
+    FirstFitWeigher,
+    ProgressWeigher,
+    WorstFitWeigher,
+)
+
+__all__ = [
+    "first_fit_scheduler",
+    "best_fit_scheduler",
+    "worst_fit_scheduler",
+    "slackvm_scheduler",
+    "slackvm_combined_scheduler",
+]
+
+#: Weight of the first-fit tiebreak relative to the primary metric.  The
+#: primary scores are O(1); host ranks are O(cluster size), so the
+#: tiebreak must be scaled far below any meaningful score difference.
+_TIEBREAK = 1e-9
+
+
+def first_fit_scheduler() -> ScoreBasedScheduler:
+    """First-Fit: the first (lowest-rank) host that fits wins."""
+    return ScoreBasedScheduler(
+        weighers=((FirstFitWeigher(), 1.0),), name="first-fit"
+    )
+
+
+def best_fit_scheduler() -> ScoreBasedScheduler:
+    """Best-Fit on normalized free capacity, first-fit tiebreak."""
+    return ScoreBasedScheduler(
+        weighers=((BestFitWeigher(), 1.0), (FirstFitWeigher(), _TIEBREAK)),
+        name="best-fit",
+    )
+
+
+def worst_fit_scheduler() -> ScoreBasedScheduler:
+    """Worst-Fit (spreading), first-fit tiebreak."""
+    return ScoreBasedScheduler(
+        weighers=((WorstFitWeigher(), 1.0), (FirstFitWeigher(), _TIEBREAK)),
+        name="worst-fit",
+    )
+
+
+def slackvm_scheduler(negative_factor: bool = True) -> ScoreBasedScheduler:
+    """SlackVM: Algorithm 2 progress score, first-fit tiebreak."""
+    return ScoreBasedScheduler(
+        weighers=(
+            (ProgressWeigher(negative_factor=negative_factor), 1.0),
+            (FirstFitWeigher(), _TIEBREAK),
+        ),
+        name="slackvm-progress",
+    )
+
+
+#: Weight of the best-fit term in the combined scheduler — must match
+#: repro.simulator.vectorpool._BESTFIT_BLEND.
+_BESTFIT_BLEND = 0.2
+
+
+def slackvm_combined_scheduler() -> ScoreBasedScheduler:
+    """The paper's suggested production composition (§VII-B2): the M/C
+    progress score complemented with an existing packing rule
+    (best-fit), plus the deterministic first-fit tiebreak."""
+    return ScoreBasedScheduler(
+        weighers=(
+            (ProgressWeigher(), 1.0),
+            (BestFitWeigher(), _BESTFIT_BLEND),
+            (FirstFitWeigher(), _TIEBREAK),
+        ),
+        name="slackvm-progress+bestfit",
+    )

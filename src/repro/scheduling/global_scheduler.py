@@ -1,0 +1,100 @@
+"""The score-based global scheduler (paper §II-B and §VI).
+
+:class:`ScoreBasedScheduler` reproduces the standard control-plane
+selection loop: filter candidates on hard constraints, score survivors
+with a weighted sum of weighers, pick the best (lowest host rank breaks
+ties, which makes every policy deterministic).
+
+SlackVM is *not* a new scheduler — it is this pipeline with the
+:class:`~repro.scheduling.weighers.ProgressWeigher` plugged in, exactly
+as the paper advocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.types import VMRequest
+from repro.localsched.agent import LocalScheduler
+from repro.scheduling.filters import CapacityFilter, HostFilter, LevelSupportFilter
+from repro.scheduling.weighers import (
+    FirstFitWeigher,
+    HostWeigher,
+    ProgressWeigher,
+)
+
+__all__ = ["ScoreBasedScheduler", "SelectionTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionTrace:
+    """Diagnostic record of one selection round (for tests/analysis)."""
+
+    vm_id: str
+    candidates: tuple[int, ...]
+    scores: tuple[float, ...]
+    selected: Optional[int]
+
+
+class ScoreBasedScheduler:
+    """Filter + weigh host selection.
+
+    Parameters
+    ----------
+    filters:
+        Hard constraints; defaults to level support + capacity.
+    weighers:
+        ``(weigher, weight)`` pairs combined as a weighted sum.
+    """
+
+    def __init__(
+        self,
+        filters: Sequence[HostFilter] | None = None,
+        weighers: Sequence[tuple[HostWeigher, float]] | None = None,
+        name: str = "score-based",
+    ):
+        self.filters: tuple[HostFilter, ...] = (
+            tuple(filters) if filters is not None else (LevelSupportFilter(), CapacityFilter())
+        )
+        self.weighers: tuple[tuple[HostWeigher, float], ...] = (
+            tuple(weighers) if weighers is not None else ((ProgressWeigher(), 1.0),)
+        )
+        self.name = name
+
+    def select(
+        self, hosts: Sequence[LocalScheduler], vm: VMRequest
+    ) -> Optional[int]:
+        """Index of the chosen host, or None when no host passes the filters."""
+        best_idx: Optional[int] = None
+        best_score = float("-inf")
+        for idx, host in enumerate(hosts):
+            if not all(f.passes(host, vm) for f in self.filters):
+                continue
+            score = sum(w * weigher.weigh(host, vm, idx) for weigher, w in self.weighers)
+            if score > best_score:  # strict: ties keep the lowest index
+                best_score = score
+                best_idx = idx
+        return best_idx
+
+    def select_traced(
+        self, hosts: Sequence[LocalScheduler], vm: VMRequest
+    ) -> SelectionTrace:
+        """Like :meth:`select` but returns the full candidate/score table."""
+        cands: list[int] = []
+        scores: list[float] = []
+        for idx, host in enumerate(hosts):
+            if not all(f.passes(host, vm) for f in self.filters):
+                continue
+            cands.append(idx)
+            scores.append(
+                sum(w * weigher.weigh(host, vm, idx) for weigher, w in self.weighers)
+            )
+        selected = None
+        if cands:
+            best = max(range(len(cands)), key=lambda i: (scores[i], -cands[i]))
+            selected = cands[best]
+        return SelectionTrace(vm.vm_id, tuple(cands), tuple(scores), selected)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ScoreBasedScheduler({self.name})"

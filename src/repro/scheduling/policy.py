@@ -1,0 +1,146 @@
+"""Declarative scheduler policies (OpenStack-style configuration).
+
+Production control planes configure their filter/weigher pipelines as
+data, not code.  This module builds a
+:class:`~repro.scheduling.global_scheduler.ScoreBasedScheduler` from a
+JSON-compatible spec:
+
+```json
+{
+  "name": "prod",
+  "filters": ["level_support", "capacity", {"name": "max_vms", "max_vms": 80}],
+  "weighers": [
+    {"name": "progress", "weight": 1.0},
+    {"name": "best_fit", "weight": 0.2},
+    {"name": "first_fit", "weight": 1e-9}
+  ]
+}
+```
+
+Filters and weighers register by name; libraries embedding repro can
+extend the registries with their own rules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.core.errors import ConfigError
+from repro.scheduling.filters import (
+    AntiAffinityFilter,
+    CapacityFilter,
+    HostFilter,
+    LevelSupportFilter,
+    MaxVMsFilter,
+)
+from repro.scheduling.global_scheduler import ScoreBasedScheduler
+from repro.scheduling.weighers import (
+    BestFitWeigher,
+    ConsolidationWeigher,
+    FirstFitWeigher,
+    HostWeigher,
+    ProgressWeigher,
+    WorstFitWeigher,
+)
+
+__all__ = [
+    "FILTER_REGISTRY",
+    "WEIGHER_REGISTRY",
+    "register_filter",
+    "register_weigher",
+    "scheduler_from_spec",
+    "load_policy",
+]
+
+FILTER_REGISTRY: dict[str, Callable[..., HostFilter]] = {
+    "level_support": LevelSupportFilter,
+    "capacity": CapacityFilter,
+    "max_vms": MaxVMsFilter,
+    "anti_affinity": AntiAffinityFilter,
+}
+
+WEIGHER_REGISTRY: dict[str, Callable[..., HostWeigher]] = {
+    "progress": ProgressWeigher,
+    "first_fit": FirstFitWeigher,
+    "best_fit": BestFitWeigher,
+    "worst_fit": WorstFitWeigher,
+    "consolidation": ConsolidationWeigher,
+}
+
+
+def register_filter(name: str, factory: Callable[..., HostFilter]) -> None:
+    """Add a custom filter to the registry (embedding extension point)."""
+    if name in FILTER_REGISTRY:
+        raise ConfigError(f"filter {name!r} is already registered")
+    FILTER_REGISTRY[name] = factory
+
+
+def register_weigher(name: str, factory: Callable[..., HostWeigher]) -> None:
+    if name in WEIGHER_REGISTRY:
+        raise ConfigError(f"weigher {name!r} is already registered")
+    WEIGHER_REGISTRY[name] = factory
+
+
+def _build(entry, registry: Mapping[str, Callable], kind: str):
+    if isinstance(entry, str):
+        name, kwargs = entry, {}
+    elif isinstance(entry, Mapping):
+        kwargs = dict(entry)
+        try:
+            name = kwargs.pop("name")
+        except KeyError:
+            raise ConfigError(f"{kind} entry {entry!r} is missing 'name'") from None
+    else:
+        raise ConfigError(f"{kind} entry must be a string or mapping, got {entry!r}")
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown {kind} {name!r}; registered: {sorted(registry)}"
+        ) from None
+    return name, kwargs, factory
+
+
+def scheduler_from_spec(spec: Mapping) -> ScoreBasedScheduler:
+    """Build a scheduler from a JSON-compatible spec (see module docs)."""
+    if not isinstance(spec, Mapping):
+        raise ConfigError("policy spec must be a mapping")
+    filters = []
+    for entry in spec.get("filters", ["level_support", "capacity"]):
+        name, kwargs, factory = _build(entry, FILTER_REGISTRY, "filter")
+        try:
+            filters.append(factory(**kwargs))
+        except TypeError as exc:
+            raise ConfigError(f"filter {name!r}: {exc}") from exc
+    weighers = []
+    for entry in spec.get("weighers", [{"name": "progress", "weight": 1.0}]):
+        if isinstance(entry, str):
+            entry = {"name": entry}
+        if not isinstance(entry, Mapping):
+            raise ConfigError(f"weigher entry must be a mapping, got {entry!r}")
+        kwargs = dict(entry)
+        weight = float(kwargs.pop("weight", 1.0))
+        name, kwargs, factory = _build(kwargs, WEIGHER_REGISTRY, "weigher")
+        try:
+            weighers.append((factory(**kwargs), weight))
+        except TypeError as exc:
+            raise ConfigError(f"weigher {name!r}: {exc}") from exc
+    if not weighers:
+        raise ConfigError("a policy needs at least one weigher")
+    return ScoreBasedScheduler(
+        filters=tuple(filters),
+        weighers=tuple(weighers),
+        name=str(spec.get("name", "custom-policy")),
+    )
+
+
+def load_policy(path: str | Path) -> ScoreBasedScheduler:
+    """Load a policy spec from a JSON file."""
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON: {exc}") from exc
+    return scheduler_from_spec(spec)

@@ -1,0 +1,57 @@
+"""Algorithm 2 — progress towards the PM's target M/C ratio.
+
+The score answers: *would deploying this VM move the PM's allocated
+Memory-per-Core ratio closer to its hardware ratio?*  Positive scores
+mean the deployment re-balances the PM; negative scores mean it skews
+it further.  Lines 12–15 of the algorithm additionally scale negative
+scores by ``1 + allocated_cpu/configured_cpu`` so that, when every PM
+would be skewed (e.g. a large unbalanced VM), lightly-loaded PMs are
+preferred — they retain the best odds of counterbalancing later.
+
+An idle PM is regarded as *already at* its target ratio (line 6), which
+biases selection toward consolidating non-empty PMs before waking idle
+ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import ResourceVector
+
+__all__ = ["progress_score"]
+
+
+def progress_score(
+    config_pm: ResourceVector,
+    alloc_pm: ResourceVector,
+    vm: ResourceVector,
+    negative_factor: bool = True,
+) -> float:
+    """Compute Algorithm 2's progress indicator.
+
+    Parameters
+    ----------
+    config_pm:
+        The PM hardware configuration (CPUs, memory GB).
+    alloc_pm:
+        The PM's current *physical* allocation — oversubscribed vNodes
+        count through their physical reservation, which keeps the score
+        level-agnostic (§VI).
+    vm:
+        The candidate VM's physical allocation at its own level
+        (``vcpus / ratio`` CPUs, memory at face value).
+    negative_factor:
+        Apply lines 12–15 (ablation knob).
+    """
+    target_ratio = config_pm.mem / config_pm.cpu
+    if alloc_pm.cpu > 0:
+        current_ratio = alloc_pm.mem / alloc_pm.cpu
+        next_ratio = (alloc_pm.mem + vm.mem) / (alloc_pm.cpu + vm.cpu)
+    else:
+        current_ratio = target_ratio
+        next_ratio = vm.mem / vm.cpu
+    current_delta = abs(current_ratio - target_ratio)
+    next_delta = abs(next_ratio - target_ratio)
+    progress = current_delta - next_delta
+    if progress < 0 and negative_factor:
+        progress *= 1.0 + alloc_pm.cpu / config_pm.cpu
+    return progress

@@ -1,0 +1,74 @@
+"""vClusters: per-level views over a shared cluster (paper §IV/§VI).
+
+A vCluster abstracts "the set of vNodes of one oversubscription level"
+across the whole cluster.  It behaves like a traditional cluster —
+receive a request, interrogate its candidate hosts, pick one — except
+its hosts are dynamic vNodes.  In this implementation a vCluster is a
+read/query view over the hosts' local schedulers, used for per-level
+reporting and by the level-aware examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.types import OversubscriptionLevel, ResourceVector
+from repro.localsched.agent import LocalScheduler
+from repro.localsched.vnode import VNode
+
+__all__ = ["VClusterStats", "VCluster"]
+
+
+@dataclass(frozen=True, slots=True)
+class VClusterStats:
+    """Aggregate state of one level across the cluster."""
+
+    level_name: str
+    num_vnodes: int
+    num_vms: int
+    allocated_vcpus: int
+    capacity_vcpus: float
+    allocated_cpus: int
+    allocated_mem_gb: float
+
+    @property
+    def vcpu_utilization(self) -> float:
+        if self.capacity_vcpus == 0:
+            return 0.0
+        return self.allocated_vcpus / self.capacity_vcpus
+
+
+class VCluster:
+    """All vNodes of one oversubscription level across ``hosts``."""
+
+    def __init__(self, level: OversubscriptionLevel, hosts: Sequence[LocalScheduler]):
+        self.level = level
+        self._hosts = list(hosts)
+
+    def vnodes(self) -> list[tuple[LocalScheduler, VNode]]:
+        out = []
+        for host in self._hosts:
+            node = host.vnode_for(self.level)
+            if node is not None:
+                out.append((host, node))
+        return out
+
+    def stats(self) -> VClusterStats:
+        nodes = [n for _, n in self.vnodes()]
+        return VClusterStats(
+            level_name=self.level.name,
+            num_vnodes=len(nodes),
+            num_vms=sum(len(n.vm_ids) for n in nodes),
+            allocated_vcpus=sum(n.allocated_vcpus for n in nodes),
+            capacity_vcpus=sum(n.capacity_vcpus for n in nodes),
+            allocated_cpus=sum(n.num_cpus for n in nodes),
+            allocated_mem_gb=sum(n.allocated_mem for n in nodes),
+        )
+
+    def allocation(self) -> ResourceVector:
+        nodes = [n for _, n in self.vnodes()]
+        return ResourceVector(
+            float(sum(n.num_cpus for n in nodes)),
+            sum(n.allocated_mem for n in nodes),
+        )

@@ -1,0 +1,46 @@
+"""Discrete-event cloud simulator: events, engines, metrics, sizing."""
+
+from repro.simulator.engine import (
+    PlacementRecord,
+    Simulation,
+    SimulationResult,
+    Timeline,
+    build_hosts,
+)
+from repro.simulator.events import Event, EventKind, EventQueue, workload_events
+from repro.simulator.faults import FaultReport, FaultySimulation, HostFailure
+from repro.simulator.metrics import (
+    UnallocatedShares,
+    combine_unallocated,
+    pm_savings_percent,
+    time_averaged_unallocated,
+    unallocated_at_peak,
+)
+from repro.simulator.sizing import SizingResult, demand_lower_bound, minimal_cluster
+from repro.simulator.vectorpool import POLICIES, VectorCluster, VectorSimulation
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "workload_events",
+    "HostFailure",
+    "FaultySimulation",
+    "FaultReport",
+    "Simulation",
+    "SimulationResult",
+    "PlacementRecord",
+    "Timeline",
+    "build_hosts",
+    "VectorCluster",
+    "VectorSimulation",
+    "POLICIES",
+    "UnallocatedShares",
+    "unallocated_at_peak",
+    "time_averaged_unallocated",
+    "combine_unallocated",
+    "pm_savings_percent",
+    "SizingResult",
+    "demand_lower_bound",
+    "minimal_cluster",
+]

@@ -1,0 +1,161 @@
+"""Reference simulation engine (object path).
+
+Runs a workload trace against a list of per-PM
+:class:`~repro.localsched.agent.LocalScheduler` hosts under a
+:class:`~repro.scheduling.global_scheduler.ScoreBasedScheduler`.  This
+is the faithful-but-slow path; the vectorized engine in
+:mod:`repro.simulator.vectorpool` implements identical semantics for
+the at-scale benches, and the test suite asserts their equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SlackVMConfig
+from repro.core.types import VMRequest
+from repro.hardware.machine import MachineSpec
+from repro.localsched.agent import LocalScheduler
+from repro.scheduling.global_scheduler import ScoreBasedScheduler
+from repro.simulator.events import EventKind, workload_events
+
+__all__ = ["PlacementRecord", "Timeline", "SimulationResult", "Simulation", "build_hosts"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementRecord:
+    vm_id: str
+    host: int
+    hosted_ratio: float
+    pooled: bool
+
+
+@dataclass
+class Timeline:
+    """Per-event snapshots of cluster-wide allocation."""
+
+    times: list[float] = field(default_factory=list)
+    alloc_cpu: list[float] = field(default_factory=list)
+    alloc_mem: list[float] = field(default_factory=list)
+
+    def record(self, time: float, cpu: float, mem: float) -> None:
+        self.times.append(time)
+        self.alloc_cpu.append(cpu)
+        self.alloc_mem.append(mem)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.times),
+            np.asarray(self.alloc_cpu),
+            np.asarray(self.alloc_mem),
+        )
+
+
+@dataclass
+class SimulationResult:
+    num_hosts: int
+    capacity_cpu: float
+    capacity_mem: float
+    placements: dict[str, PlacementRecord]
+    rejections: list[str]
+    timeline: Timeline
+    pooled_placements: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        """No deployment was rejected."""
+        return not self.rejections
+
+    def peak_index(self) -> int:
+        """Timeline index of the heaviest combined allocation."""
+        _, cpu, mem = self.timeline.as_arrays()
+        weight = cpu / self.capacity_cpu + mem / self.capacity_mem
+        return int(np.argmax(weight))
+
+    def unallocated_at_peak(self) -> tuple[float, float]:
+        """(cpu share, mem share) left unallocated at the peak instant."""
+        i = self.peak_index()
+        _, cpu, mem = self.timeline.as_arrays()
+        return (
+            1.0 - cpu[i] / self.capacity_cpu,
+            1.0 - mem[i] / self.capacity_mem,
+        )
+
+    def peak_allocation(self) -> tuple[float, float]:
+        i = self.peak_index()
+        _, cpu, mem = self.timeline.as_arrays()
+        return float(cpu[i]), float(mem[i])
+
+
+def build_hosts(
+    machine: MachineSpec, count: int, config: SlackVMConfig | None = None
+) -> list[LocalScheduler]:
+    """A homogeneous cluster of ``count`` accounting-mode hosts."""
+    cfg = config or SlackVMConfig()
+    return [
+        LocalScheduler(
+            MachineSpec(name=f"{machine.name}-{i}", cpus=machine.cpus, mem_gb=machine.mem_gb),
+            cfg,
+        )
+        for i in range(count)
+    ]
+
+
+class Simulation:
+    """Drive a workload trace through a cluster + global scheduler."""
+
+    def __init__(
+        self,
+        hosts: Sequence[LocalScheduler],
+        scheduler: ScoreBasedScheduler,
+        fail_fast: bool = False,
+    ):
+        self.hosts = list(hosts)
+        self.scheduler = scheduler
+        self.fail_fast = fail_fast
+
+    def run(self, workload: list[VMRequest]) -> SimulationResult:
+        queue = workload_events(workload)
+        placements: dict[str, PlacementRecord] = {}
+        rejections: list[str] = []
+        timeline = Timeline()
+        pooled = 0
+        cap_cpu = float(sum(h.machine.cpus for h in self.hosts))
+        cap_mem = float(sum(h.machine.mem_gb for h in self.hosts))
+        alive: set[str] = set()
+        for event in queue.drain():
+            vm = event.vm
+            if event.kind is EventKind.ARRIVAL:
+                idx: Optional[int] = self.scheduler.select(self.hosts, vm)
+                if idx is None:
+                    rejections.append(vm.vm_id)
+                    if self.fail_fast:
+                        break
+                else:
+                    placement = self.hosts[idx].deploy(vm)
+                    pooled += placement.pooled
+                    placements[vm.vm_id] = PlacementRecord(
+                        vm.vm_id, idx, placement.hosted_level.ratio, placement.pooled
+                    )
+                    alive.add(vm.vm_id)
+            else:
+                if vm.vm_id in alive:
+                    self.hosts[placements[vm.vm_id].host].remove(vm.vm_id)
+                    alive.discard(vm.vm_id)
+            timeline.record(
+                event.time,
+                float(sum(h.allocated_cpus for h in self.hosts)),
+                float(sum(h.allocated_mem for h in self.hosts)),
+            )
+        return SimulationResult(
+            num_hosts=len(self.hosts),
+            capacity_cpu=cap_cpu,
+            capacity_mem=cap_mem,
+            placements=placements,
+            rejections=rejections,
+            timeline=timeline,
+            pooled_placements=pooled,
+        )

@@ -1,0 +1,68 @@
+"""Discrete-event machinery for the cloud simulation.
+
+A minimal, deterministic event queue: events fire in timestamp order;
+at equal timestamps departures fire before arrivals (so a leaving VM's
+resources are reusable immediately, matching CloudSimPlus semantics),
+and insertion order breaks remaining ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterator
+
+from repro.core.types import VMRequest
+
+__all__ = ["EventKind", "Event", "EventQueue", "workload_events"]
+
+
+class EventKind(IntEnum):
+    """Priority doubles as the equal-timestamp ordering."""
+
+    DEPARTURE = 0
+    ARRIVAL = 1
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    time: float
+    kind: EventKind
+    seq: int
+    vm: VMRequest = field(compare=False)
+
+
+class EventQueue:
+    """A heap-backed event queue with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: EventKind, vm: VMRequest) -> None:
+        heapq.heappush(self._heap, Event(time, kind, self._seq, vm))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        while self._heap:
+            yield heapq.heappop(self._heap)
+
+
+def workload_events(workload: list[VMRequest]) -> EventQueue:
+    """Queue every arrival and (finite) departure of a trace."""
+    q = EventQueue()
+    for vm in sorted(workload, key=lambda v: (v.arrival, v.vm_id)):
+        q.push(vm.arrival, EventKind.ARRIVAL, vm)
+        if vm.departure is not None:
+            q.push(vm.departure, EventKind.DEPARTURE, vm)
+    return q

@@ -1,0 +1,156 @@
+"""Host-failure injection for the cloud simulation.
+
+Production clusters lose PMs; a packing scheduler must leave enough
+aggregate headroom to re-place the victims.  This module extends the
+vector engine with host-failure events: at a failure's timestamp the
+host is drained and marked dead (its remaining capacity is zero), every
+victim VM is re-submitted through the global scheduler, and VMs that no
+longer fit anywhere are recorded as *lost*.
+
+Used by the failure-injection tests and the resilience example; not a
+paper experiment (the paper's evaluation assumes healthy PMs) but a
+substrate a production adopter needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import SlackVMConfig
+from repro.core.errors import SimulationError
+from repro.core.types import VMRequest
+from repro.hardware.machine import MachineSpec
+from repro.simulator.engine import PlacementRecord, SimulationResult, Timeline
+from repro.simulator.events import EventKind, workload_events
+from repro.simulator.vectorpool import POLICIES, VectorCluster
+
+__all__ = ["HostFailure", "FaultReport", "FaultySimulation"]
+
+
+@dataclass(frozen=True, slots=True)
+class HostFailure:
+    """One PM dies (permanently) at ``time``."""
+
+    time: float
+    host: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SimulationError(f"failure time must be >= 0, got {self.time}")
+        if self.host < 0:
+            raise SimulationError(f"host index must be >= 0, got {self.host}")
+
+
+@dataclass
+class FaultReport:
+    """What happened at each injected failure."""
+
+    failed_hosts: list[int] = field(default_factory=list)
+    recovered_vms: int = 0
+    lost_vms: list[str] = field(default_factory=list)
+
+
+class FaultySimulation:
+    """A :class:`~repro.simulator.vectorpool.VectorSimulation` variant
+    that injects permanent host failures and re-places the victims."""
+
+    def __init__(
+        self,
+        machines: Sequence[MachineSpec],
+        failures: Sequence[HostFailure],
+        config: SlackVMConfig | None = None,
+        policy: str = "progress",
+    ):
+        if policy not in POLICIES:
+            raise SimulationError(f"unknown policy {policy!r}")
+        self.machines = list(machines)
+        for f in failures:
+            if f.host >= len(self.machines):
+                raise SimulationError(
+                    f"failure targets host {f.host} but the cluster has "
+                    f"{len(self.machines)} hosts"
+                )
+        self.failures = sorted(failures, key=lambda f: f.time)
+        self.config = config or SlackVMConfig()
+        self.policy = policy
+        self.report = FaultReport()
+
+    def _fail_host(self, cluster: VectorCluster, host: int,
+                   placements: dict[str, PlacementRecord],
+                   alive: set[str]) -> None:
+        victims = [cluster.request_of(vm_id) for vm_id in cluster.vms_on(host)]
+        for vm in victims:
+            cluster.remove(vm.vm_id)
+        # Kill the host: no capacity left, nothing can land there.  Use
+        # an epsilon rather than zero so ratio-based scores stay finite
+        # (the capacity filter already excludes the host regardless).
+        cluster.cap_cpu[host] = 1e-12
+        cluster.cap_mem[host] = 1e-12
+        self.report.failed_hosts.append(host)
+        # Victims re-enter through the scheduler, largest first (the
+        # hardest to place; a classic recovery ordering).
+        for vm in sorted(
+            victims, key=lambda r: (-r.spec.vcpus, -r.spec.mem_gb, r.vm_id)
+        ):
+            feasible, _g, _o = cluster.feasibility(vm)
+            if feasible.any():
+                scores = np.where(feasible, cluster.scores(vm, self.policy), -np.inf)
+                target = int(np.argmax(scores))
+                record = cluster.deploy(vm, target)
+                placements[vm.vm_id] = record
+                self.report.recovered_vms += 1
+            else:
+                self.report.lost_vms.append(vm.vm_id)
+                alive.discard(vm.vm_id)
+
+    def run(self, workload: list[VMRequest]) -> SimulationResult:
+        cluster = VectorCluster(self.machines, self.config)
+        queue = workload_events(list(workload))
+        placements: dict[str, PlacementRecord] = {}
+        rejections: list[str] = []
+        timeline = Timeline()
+        pooled = 0
+        alive: set[str] = set()
+        pending_failures = list(self.failures)
+        self.report = FaultReport()
+        for event in queue.drain():
+            while pending_failures and pending_failures[0].time <= event.time:
+                failure = pending_failures.pop(0)
+                self._fail_host(cluster, failure.host, placements, alive)
+            vm = event.vm
+            if event.kind is EventKind.ARRIVAL:
+                feasible, _g, _o = cluster.feasibility(vm)
+                if not feasible.any():
+                    rejections.append(vm.vm_id)
+                else:
+                    scores = np.where(
+                        feasible, cluster.scores(vm, self.policy), -np.inf
+                    )
+                    host = int(np.argmax(scores))
+                    record = cluster.deploy(vm, host)
+                    pooled += record.pooled
+                    placements[vm.vm_id] = record
+                    alive.add(vm.vm_id)
+            else:
+                if vm.vm_id in alive:
+                    cluster.remove(vm.vm_id)
+                    alive.discard(vm.vm_id)
+            timeline.record(
+                event.time,
+                float(cluster.alloc_cpu.sum()),
+                float(cluster.alloc_mem.sum()),
+            )
+        for failure in pending_failures:  # failures after the last event
+            self._fail_host(cluster, failure.host, placements, alive)
+        return SimulationResult(
+            num_hosts=cluster.num_hosts,
+            capacity_cpu=float(cluster.cap_cpu.sum()),
+            capacity_mem=float(cluster.cap_mem.sum()),
+            placements=placements,
+            rejections=rejections,
+            timeline=timeline,
+            pooled_placements=pooled,
+        )

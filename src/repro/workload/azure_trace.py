@@ -1,0 +1,154 @@
+"""Import workloads from the public Azure trace schema.
+
+Microsoft publishes VM packing/lifecycle traces (the Azure Public
+Dataset family used by the paper's references [24][30]) as CSV with,
+per VM: an identifier, a VM-type descriptor or explicit core/memory
+sizing, and start/end times in fractional days.  This module converts
+that schema into :class:`~repro.core.types.VMRequest` lists so the real
+traces (which we cannot redistribute) can be replayed through every
+experiment in this repository.
+
+Expected CSV columns (header required, extra columns ignored):
+
+* ``vmId`` — unique identifier;
+* ``vmTypeId`` *or* the pair ``core``/``memory`` (vCPUs / GB);
+* ``starttime`` — fractional days (may be negative for VMs alive at
+  trace start: clamped to 0);
+* ``endtime`` — fractional days, empty/missing for VMs outliving the
+  trace.
+
+Oversubscription levels are not part of the public schema; they are
+assigned by the caller via a level mix (deterministic per seed), the
+same way the paper extends CloudFactory.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.types import OversubscriptionLevel, VMRequest, VMSpec
+from repro.workload.distributions import LevelMix, mix_shares
+
+__all__ = ["load_azure_trace", "assign_levels"]
+
+DAY_SECONDS = 86_400.0
+
+
+def _parse_time(value: str, row_no: int, field: str) -> float | None:
+    value = value.strip()
+    if not value or value.upper() in ("NULL", "NA", "NONE"):
+        return None
+    try:
+        return float(value) * DAY_SECONDS
+    except ValueError:
+        raise WorkloadError(f"row {row_no}: invalid {field} {value!r}") from None
+
+
+def load_azure_trace(
+    path: str | Path,
+    vm_types: Mapping[str, tuple[int, float]] | None = None,
+    max_rows: int | None = None,
+) -> list[VMRequest]:
+    """Parse an Azure-schema CSV into VM requests (levels default 1:1).
+
+    ``vm_types`` maps ``vmTypeId`` values to ``(vcpus, mem_gb)``; it is
+    required when the CSV does not carry explicit ``core``/``memory``
+    columns.
+    """
+    path = Path(path)
+    out: list[VMRequest] = []
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise WorkloadError(f"{path}: empty trace file")
+        fields = {f.lower(): f for f in reader.fieldnames}
+        if "vmid" not in fields:
+            raise WorkloadError(f"{path}: missing 'vmId' column")
+        has_sizes = "core" in fields and "memory" in fields
+        if not has_sizes and "vmtypeid" not in fields:
+            raise WorkloadError(
+                f"{path}: need either core/memory columns or vmTypeId"
+            )
+        if not has_sizes and vm_types is None:
+            raise WorkloadError(
+                "this trace uses vmTypeId; pass vm_types={typeId: (vcpus, mem_gb)}"
+            )
+        for row_no, row in enumerate(reader, 2):
+            if max_rows is not None and len(out) >= max_rows:
+                break
+            vm_id = row[fields["vmid"]].strip()
+            if not vm_id:
+                raise WorkloadError(f"row {row_no}: empty vmId")
+            if has_sizes:
+                try:
+                    vcpus = int(float(row[fields["core"]]))
+                    mem = float(row[fields["memory"]])
+                except (ValueError, TypeError):
+                    raise WorkloadError(
+                        f"row {row_no}: invalid core/memory sizing"
+                    ) from None
+            else:
+                type_id = row[fields["vmtypeid"]].strip()
+                try:
+                    vcpus, mem = vm_types[type_id]  # type: ignore[index]
+                except KeyError:
+                    raise WorkloadError(
+                        f"row {row_no}: unknown vmTypeId {type_id!r}"
+                    ) from None
+            start = _parse_time(row.get(fields.get("starttime", ""), "0"),
+                                row_no, "starttime")
+            end = (
+                _parse_time(row[fields["endtime"]], row_no, "endtime")
+                if "endtime" in fields
+                else None
+            )
+            arrival = max(0.0, start if start is not None else 0.0)
+            if end is not None and end <= arrival:
+                # VM entirely before trace start, or zero-length: skip.
+                continue
+            out.append(
+                VMRequest(
+                    vm_id=f"az-{vm_id}",
+                    spec=VMSpec(vcpus=vcpus, mem_gb=mem),
+                    level=OversubscriptionLevel(1.0),
+                    arrival=arrival,
+                    departure=end,
+                )
+            )
+    if not out:
+        raise WorkloadError(f"{path}: no usable VM rows")
+    return out
+
+
+def assign_levels(
+    workload: Sequence[VMRequest],
+    mix: LevelMix | str,
+    seed: int = 0,
+    oversub_mem_cap: float | None = 8.0,
+) -> list[VMRequest]:
+    """Assign oversubscription levels to an imported trace.
+
+    Levels are drawn per VM from the mix; VMs above ``oversub_mem_cap``
+    stay premium regardless of the draw (the §III-A catalog hypothesis:
+    large-memory flavors are not offered oversubscribed).
+    """
+    shares = mix_shares(mix)
+    ratios = np.array(sorted(shares))
+    probs = np.array([shares[r] for r in ratios])
+    rng = np.random.default_rng(seed)
+    draws = ratios[rng.choice(len(ratios), size=len(workload), p=probs)]
+    out = []
+    for vm, ratio in zip(workload, draws):
+        if (
+            oversub_mem_cap is not None
+            and ratio > 1.0
+            and vm.spec.mem_gb > oversub_mem_cap
+        ):
+            ratio = 1.0
+        out.append(vm.with_level(OversubscriptionLevel(float(ratio))))
+    return out

@@ -1,0 +1,178 @@
+"""CloudFactory-style workload generation (paper §VII).
+
+Generates a dynamic set of VM lifecycles matching a Cloud-provider
+context: flavor sizes drawn from a provider catalog, a configurable
+share of VMs per oversubscription level (the paper's extension to
+CloudFactory), Poisson arrivals with optional diurnal modulation, and
+heavy-tailed lifetimes.  Oversubscribed VMs draw from the catalog
+restricted to flavors of at most 8 GB (§III-A hypothesis).
+
+All randomness flows through a seeded :class:`numpy.random.Generator`,
+so every experiment in the benches is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.types import OversubscriptionLevel, VMRequest
+from repro.workload.catalog import OVERSUB_MEM_CAP_GB, Catalog
+from repro.workload.distributions import LevelMix, mix_shares
+from repro.workload.usage import DEFAULT_BEHAVIOUR_SHARES
+
+__all__ = ["WorkloadParams", "generate_workload", "peak_population", "remap_levels"]
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Parameters of one generated trace.
+
+    ``target_population`` is the steady-state concurrent VM count
+    (paper §VII-B1 targets 500); the Poisson arrival rate is derived as
+    ``target_population / mean_lifetime`` (Little's law).
+    """
+
+    catalog: Catalog
+    level_mix: LevelMix | str = (100.0, 0.0, 0.0)
+    target_population: int = 500
+    duration: float = WEEK
+    mean_lifetime: float = 2 * DAY
+    diurnal_amplitude: float = 0.25
+    behaviour_shares: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_BEHAVIOUR_SHARES)
+    )
+    oversub_mem_cap: float = OVERSUB_MEM_CAP_GB
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_population <= 0:
+            raise WorkloadError("target_population must be positive")
+        if self.duration <= 0 or self.mean_lifetime <= 0:
+            raise WorkloadError("duration and mean_lifetime must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise WorkloadError("diurnal_amplitude must be in [0,1)")
+        total = sum(self.behaviour_shares.values())
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"behaviour shares sum to {total}, expected 1")
+
+
+def _arrival_times(params: WorkloadParams, rng: np.random.Generator) -> np.ndarray:
+    """Non-homogeneous Poisson arrivals by thinning a homogeneous stream."""
+    rate = params.target_population / params.mean_lifetime
+    peak_rate = rate * (1.0 + params.diurnal_amplitude)
+    # Candidate homogeneous stream at the envelope rate.
+    expected = peak_rate * params.duration
+    n_cand = rng.poisson(expected)
+    times = np.sort(rng.uniform(0.0, params.duration, size=n_cand))
+    if params.diurnal_amplitude == 0.0:
+        return times
+    intensity = rate * (
+        1.0 + params.diurnal_amplitude * np.sin(2 * np.pi * times / DAY)
+    )
+    keep = rng.uniform(0.0, peak_rate, size=n_cand) < intensity
+    return times[keep]
+
+
+def _sample_levels(
+    shares: Mapping[float, float], n: int, rng: np.random.Generator
+) -> np.ndarray:
+    ratios = np.array(sorted(shares))
+    probs = np.array([shares[r] for r in ratios])
+    return ratios[rng.choice(len(ratios), size=n, p=probs)]
+
+
+def _sample_behaviours(
+    shares: Mapping[str, float], n: int, rng: np.random.Generator
+) -> list[str]:
+    kinds = sorted(shares)
+    probs = np.array([shares[k] for k in kinds])
+    idx = rng.choice(len(kinds), size=n, p=probs)
+    return [kinds[i] for i in idx]
+
+
+def generate_workload(params: WorkloadParams) -> list[VMRequest]:
+    """Generate one reproducible VM lifecycle trace."""
+    rng = np.random.default_rng(params.seed)
+    shares = mix_shares(params.level_mix)
+    active_shares = {r: s for r, s in shares.items() if s > 0}
+    arrivals = _arrival_times(params, rng)
+    n = len(arrivals)
+    if n == 0:
+        raise WorkloadError("generated zero arrivals; increase duration or population")
+    levels = _sample_levels(active_shares, n, rng)
+    lifetimes = rng.exponential(params.mean_lifetime, size=n)
+    behaviours = _sample_behaviours(params.behaviour_shares, n, rng)
+    restricted = params.catalog.restricted(params.oversub_mem_cap)
+    requests: list[VMRequest] = []
+    for i in range(n):
+        ratio = float(levels[i])
+        cat = params.catalog if ratio <= 1.0 else restricted
+        spec = cat.sample(rng)
+        kind = behaviours[i]
+        if kind == "idle":
+            param = 0.0
+        elif kind == "stress":
+            # CloudFactory-like skewed utilisation: most VMs are light.
+            param = float(np.clip(rng.beta(2.0, 3.0), 0.02, 1.0))
+        else:
+            param = float(np.clip(rng.beta(2.5, 4.0), 0.05, 0.9))
+        departure = arrivals[i] + lifetimes[i]
+        requests.append(
+            VMRequest(
+                vm_id=f"vm-{i:05d}",
+                spec=spec,
+                level=OversubscriptionLevel(ratio),
+                arrival=float(arrivals[i]),
+                departure=float(departure) if departure < params.duration else None,
+                usage_kind=kind,
+                usage_param=param,
+            )
+        )
+    return requests
+
+
+def remap_levels(
+    workload: Sequence[VMRequest],
+    levels: Sequence[OversubscriptionLevel],
+) -> list[VMRequest]:
+    """Replace each VM's level with the matching configured level.
+
+    Matching is by CPU ratio; used to apply provider-side attributes
+    such as memory oversubscription (a level's ``mem_ratio``) onto a
+    trace generated with plain CPU-only levels.
+    """
+    by_ratio = {lv.ratio: lv for lv in levels}
+    out = []
+    for vm in workload:
+        try:
+            out.append(vm.with_level(by_ratio[vm.level.ratio]))
+        except KeyError:
+            raise WorkloadError(
+                f"trace VM {vm.vm_id} uses level {vm.level.name} with no "
+                f"configured counterpart"
+            ) from None
+    return out
+
+
+def peak_population(workload: Sequence[VMRequest], horizon: float | None = None) -> int:
+    """Maximum number of concurrently-alive VMs in a trace."""
+    deltas: list[tuple[float, int]] = []
+    for vm in workload:
+        deltas.append((vm.arrival, 1))
+        if vm.departure is not None:
+            deltas.append((vm.departure, -1))
+        elif horizon is not None:
+            deltas.append((horizon, -1))
+    deltas.sort(key=lambda d: (d[0], d[1]))
+    alive = peak = 0
+    for _, d in deltas:
+        alive += d
+        peak = max(peak, alive)
+    return peak

@@ -1,0 +1,142 @@
+"""Markov-modulated CPU-usage time series (CloudFactory's usage model).
+
+CloudFactory [30] reproduces per-VM CPU behaviour from provider traces:
+VMs alternate between load regimes rather than holding a constant
+utilisation.  This module provides that richer signal:
+
+* :class:`MarkovUsageModel` — a small continuous-time Markov chain over
+  load states (e.g. low/medium/high), with per-state utilisation bands;
+* :func:`generate_usage_series` — sample a VM's utilisation trace on a
+  fixed grid;
+* :class:`TraceProfile` — adapts a sampled series to the
+  :class:`~repro.workload.usage.UsageProfile` interface, so the
+  performance model can be driven by synthetic *or* recorded traces
+  (step-function interpolation, like most monitoring exports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.workload.usage import UsageProfile
+
+__all__ = ["MarkovUsageModel", "TraceProfile", "generate_usage_series", "AZURE_LIKE_USAGE"]
+
+
+@dataclass(frozen=True)
+class MarkovUsageModel:
+    """A continuous-time Markov chain over utilisation regimes.
+
+    ``levels`` are per-state mean utilisations; ``dwell`` the mean time
+    spent in each state (seconds); transitions pick a *different* state
+    uniformly (detailed structure matters less than the regime mixture
+    for packing/latency studies).
+    """
+
+    levels: tuple[float, ...] = (0.05, 0.25, 0.70)
+    dwell: tuple[float, ...] = (1800.0, 900.0, 300.0)
+    jitter: float = 0.05  # uniform noise around the state level
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise WorkloadError("need at least two load states")
+        if len(self.levels) != len(self.dwell):
+            raise WorkloadError("levels and dwell must have the same length")
+        if any(not 0.0 <= u <= 1.0 for u in self.levels):
+            raise WorkloadError("state levels must be in [0,1]")
+        if any(d <= 0 for d in self.dwell):
+            raise WorkloadError("dwell times must be positive")
+        if not 0.0 <= self.jitter <= 0.5:
+            raise WorkloadError("jitter must be in [0, 0.5]")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.levels)
+
+    def stationary_mean(self) -> float:
+        """Long-run mean utilisation (dwell-weighted state levels)."""
+        dwell = np.asarray(self.dwell)
+        weights = dwell / dwell.sum()
+        return float(np.dot(weights, self.levels))
+
+
+#: Regime mixture loosely shaped on Azure's published usage statistics:
+#: most of the time near-idle, occasional sustained bursts.
+AZURE_LIKE_USAGE = MarkovUsageModel(
+    levels=(0.04, 0.20, 0.60), dwell=(2400.0, 1200.0, 400.0), jitter=0.04
+)
+
+
+def generate_usage_series(
+    model: MarkovUsageModel,
+    duration: float,
+    dt: float,
+    rng: np.random.Generator,
+    initial_state: int | None = None,
+) -> np.ndarray:
+    """Sample one VM's utilisation on a grid of ``dt``-spaced points."""
+    if duration <= 0 or dt <= 0:
+        raise WorkloadError("duration and dt must be positive")
+    n = int(np.ceil(duration / dt))
+    out = np.empty(n)
+    dwell = np.asarray(model.dwell)
+    if initial_state is None:
+        # Start from the stationary regime distribution.
+        p = dwell / dwell.sum()
+        state = int(rng.choice(model.num_states, p=p))
+    else:
+        if not 0 <= initial_state < model.num_states:
+            raise WorkloadError(f"initial_state {initial_state} out of range")
+        state = initial_state
+    remaining = rng.exponential(dwell[state])
+    for i in range(n):
+        base = model.levels[state]
+        noise = rng.uniform(-model.jitter, model.jitter)
+        out[i] = min(1.0, max(0.0, base + noise))
+        remaining -= dt
+        while remaining <= 0:
+            others = [s for s in range(model.num_states) if s != state]
+            state = int(rng.choice(others))
+            remaining += rng.exponential(dwell[state])
+    return out
+
+
+@dataclass(frozen=True)
+class TraceProfile(UsageProfile):
+    """A usage profile backed by a sampled series (step interpolation).
+
+    Accepts any recorded monitoring export: ``series[i]`` holds for
+    ``[start + i*dt, start + (i+1)*dt)``; queries outside the recorded
+    window clamp to the first/last sample.
+    """
+
+    series: tuple[float, ...]
+    dt: float
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise WorkloadError("a trace profile needs at least one sample")
+        if self.dt <= 0:
+            raise WorkloadError("dt must be positive")
+        if any(not 0.0 <= u <= 1.0 for u in self.series):
+            raise WorkloadError("utilisation samples must be in [0,1]")
+
+    @classmethod
+    def from_model(
+        cls,
+        model: MarkovUsageModel,
+        duration: float,
+        dt: float,
+        rng: np.random.Generator,
+    ) -> "TraceProfile":
+        series = generate_usage_series(model, duration, dt, rng)
+        return cls(series=tuple(series), dt=dt)
+
+    def demand(self, t: float) -> float:
+        idx = int((t - self.start) // self.dt)
+        idx = min(max(idx, 0), len(self.series) - 1)
+        return self.series[idx]

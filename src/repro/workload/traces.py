@@ -1,0 +1,75 @@
+"""Workload trace (de)serialization.
+
+Traces are stored as JSON Lines — one VM lifecycle per line — so large
+workloads stream without loading everything twice, and generated
+workloads can be shared between the examples, benches and external
+tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.types import OversubscriptionLevel, VMRequest, VMSpec
+
+__all__ = ["vm_to_dict", "vm_from_dict", "save_trace", "load_trace", "iter_trace"]
+
+_REQUIRED = {"vm_id", "vcpus", "mem_gb", "ratio", "arrival"}
+
+
+def vm_to_dict(vm: VMRequest) -> dict:
+    return {
+        "vm_id": vm.vm_id,
+        "vcpus": vm.spec.vcpus,
+        "mem_gb": vm.spec.mem_gb,
+        "ratio": vm.level.ratio,
+        "arrival": vm.arrival,
+        "departure": vm.departure,
+        "usage_kind": vm.usage_kind,
+        "usage_param": vm.usage_param,
+    }
+
+
+def vm_from_dict(row: dict) -> VMRequest:
+    missing = _REQUIRED - row.keys()
+    if missing:
+        raise WorkloadError(f"trace row missing fields {sorted(missing)}: {row}")
+    return VMRequest(
+        vm_id=str(row["vm_id"]),
+        spec=VMSpec(vcpus=int(row["vcpus"]), mem_gb=float(row["mem_gb"])),
+        level=OversubscriptionLevel(float(row["ratio"])),
+        arrival=float(row["arrival"]),
+        departure=None if row.get("departure") is None else float(row["departure"]),
+        usage_kind=str(row.get("usage_kind", "stress")),
+        usage_param=float(row.get("usage_param", 0.5)),
+    )
+
+
+def save_trace(workload: Sequence[VMRequest], path: str | Path) -> None:
+    """Write a trace as JSON Lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for vm in workload:
+            fh.write(json.dumps(vm_to_dict(vm)) + "\n")
+
+
+def iter_trace(path: str | Path) -> Iterator[VMRequest]:
+    """Stream VM requests from a JSON Lines trace."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            yield vm_from_dict(row)
+
+
+def load_trace(path: str | Path) -> list[VMRequest]:
+    return list(iter_trace(path))

@@ -1,0 +1,106 @@
+"""Per-VM CPU usage profiles (CloudFactory-style behaviour classes).
+
+The physical experiment (§VII-A1) mixes three behaviours: 10 % idle
+VMs, 60 % running a CPU benchmark (stress-ng), and 30 % interactive
+micro-service applications probed for response time.  A profile maps
+simulation time to the fraction of the VM's vCPUs it wants to run —
+the demand signal consumed by :mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+
+__all__ = [
+    "UsageProfile",
+    "IdleProfile",
+    "StressProfile",
+    "InteractiveProfile",
+    "profile_for",
+    "DEFAULT_BEHAVIOUR_SHARES",
+]
+
+#: §VII-A1 behaviour mix: (idle, stress, interactive).
+DEFAULT_BEHAVIOUR_SHARES: dict[str, float] = {
+    "idle": 0.10,
+    "stress": 0.60,
+    "interactive": 0.30,
+}
+
+DAY_SECONDS = 86_400.0
+
+
+class UsageProfile(ABC):
+    """Maps time to demanded vCPU fraction in [0, 1]."""
+
+    @abstractmethod
+    def demand(self, t: float) -> float:
+        """Fraction of the VM's vCPUs demanded at time ``t``."""
+
+    def demand_series(self, times: np.ndarray) -> np.ndarray:
+        return np.array([self.demand(float(t)) for t in np.asarray(times)])
+
+
+@dataclass(frozen=True)
+class IdleProfile(UsageProfile):
+    """A nearly-idle VM (background OS noise only)."""
+
+    floor: float = 0.02
+
+    def demand(self, t: float) -> float:
+        return self.floor
+
+
+@dataclass(frozen=True)
+class StressProfile(UsageProfile):
+    """stress-ng-like constant CPU load at a fixed utilisation."""
+
+    utilization: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization <= 1.0:
+            raise WorkloadError(f"utilization must be in [0,1], got {self.utilization}")
+
+    def demand(self, t: float) -> float:
+        return self.utilization
+
+
+@dataclass(frozen=True)
+class InteractiveProfile(UsageProfile):
+    """Interactive service with a diurnal load pattern.
+
+    ``base`` is the mean utilisation; the demand oscillates daily with
+    relative ``amplitude`` and a per-VM ``phase`` (users in different
+    timezones), never exceeding 1.
+    """
+
+    base: float = 0.35
+    amplitude: float = 0.5
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base <= 1.0:
+            raise WorkloadError(f"base must be in (0,1], got {self.base}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise WorkloadError(f"amplitude must be in [0,1], got {self.amplitude}")
+
+    def demand(self, t: float) -> float:
+        wave = 1.0 + self.amplitude * math.sin(2 * math.pi * (t / DAY_SECONDS + self.phase))
+        return min(1.0, self.base * wave)
+
+
+def profile_for(kind: str, param: float, phase: float = 0.0) -> UsageProfile:
+    """Instantiate the profile matching a trace's ``usage_kind`` tag."""
+    if kind == "idle":
+        return IdleProfile()
+    if kind == "stress":
+        return StressProfile(utilization=param)
+    if kind == "interactive":
+        return InteractiveProfile(base=param, phase=phase)
+    raise WorkloadError(f"unknown usage kind {kind!r}")

@@ -1,0 +1,72 @@
+"""Tests of the offline packing bounds."""
+
+import pytest
+
+from repro.analysis.bounds import bfd_snapshot_bound, fractional_bound, peak_alive_set
+from repro.core import LEVEL_1_1, LEVEL_3_1, SimulationError, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import SIM_WORKER, MachineSpec
+from repro.simulator import minimal_cluster
+from repro.workload import OVHCLOUD, WorkloadParams, generate_workload
+
+MACHINE = MachineSpec("pm", 8, 32.0)
+
+
+def vm(vm_id, vcpus=2, mem=4.0, level=LEVEL_1_1, arrival=0.0, departure=None):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level,
+                     arrival=arrival, departure=departure)
+
+
+class TestPeakAliveSet:
+    def test_peak_set_is_the_overlap(self):
+        trace = [
+            vm("a", departure=10.0),
+            vm("b", arrival=5.0, departure=15.0),
+            vm("c", arrival=12.0),
+        ]
+        ids = {v.vm_id for v in peak_alive_set(trace)}
+        assert ids in ({"a", "b"}, {"b", "c"})  # both overlaps have size 2
+
+    def test_weighted_peak_prefers_heavier_overlap(self):
+        trace = [
+            vm("small1", vcpus=1, mem=1.0, departure=10.0),
+            vm("small2", vcpus=1, mem=1.0, arrival=1.0, departure=10.0),
+            vm("big", vcpus=8, mem=16.0, arrival=20.0),
+        ]
+        ids = {v.vm_id for v in peak_alive_set(trace)}
+        assert ids == {"big"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            peak_alive_set([])
+
+
+class TestBfdBound:
+    def test_exact_fit(self):
+        trace = [vm(f"v{i}", vcpus=4, mem=16.0) for i in range(4)]
+        assert bfd_snapshot_bound(trace, MACHINE) == 2
+
+    def test_oversubscription_respected(self):
+        trace = [vm(f"v{i}", vcpus=8, mem=4.0, level=LEVEL_3_1) for i in range(3)]
+        # 24 vCPUs at 3:1 -> 8 CPUs -> one PM.
+        assert bfd_snapshot_bound(trace, MACHINE) == 1
+
+    def test_impossible_vm_raises(self):
+        with pytest.raises(SimulationError):
+            bfd_snapshot_bound([vm("giant", vcpus=99)], MACHINE)
+
+    def test_bfd_at_most_online_minimal_cluster(self):
+        """The offline snapshot bound must not exceed what the online
+        scheduler needed (it solves an easier problem)."""
+        workload = generate_workload(
+            WorkloadParams(catalog=OVHCLOUD, level_mix="F",
+                           target_population=150, seed=9)
+        )
+        online = minimal_cluster(workload, SIM_WORKER, policy="progress").pms
+        offline = bfd_snapshot_bound(workload, SIM_WORKER)
+        frac = fractional_bound(workload, SIM_WORKER)
+        assert frac <= offline + 1  # bfd is heuristic: allow 1 PM slack
+        assert offline <= online + 1
+
+    def test_fractional_bound_reexport(self):
+        trace = [vm(f"v{i}", vcpus=8, mem=4.0) for i in range(3)]
+        assert fractional_bound(trace, MACHINE) == 3

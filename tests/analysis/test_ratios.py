@@ -1,0 +1,58 @@
+"""Tests of the §III ratio analysis (Tables I & II, limiting factors)."""
+
+import pytest
+
+from repro.analysis import LimitingFactor, classify_levels, limiting_factor, table1_row, table2_row
+from repro.workload import AZURE, OVHCLOUD
+
+
+def test_table1_rows():
+    az = table1_row(AZURE)
+    assert az.mean_vcpus == pytest.approx(2.25, abs=0.005)
+    assert az.mean_mem_gb == pytest.approx(4.8, abs=0.01)
+    ovh = table1_row(OVHCLOUD)
+    assert ovh.mean_vcpus == pytest.approx(3.24, abs=0.005)
+    assert ovh.mean_mem_gb == pytest.approx(10.05, abs=0.01)
+
+
+def test_table2_rows():
+    az = table2_row(AZURE)
+    assert az.ratios[1.0] == pytest.approx(2.1, abs=0.05)
+    assert az.ratios[2.0] == pytest.approx(3.0, abs=0.05)
+    assert az.ratios[3.0] == pytest.approx(4.5, abs=0.05)
+    ovh = table2_row(OVHCLOUD)
+    assert ovh.ratios[1.0] == pytest.approx(3.1, abs=0.05)
+    assert ovh.ratios[2.0] == pytest.approx(3.9, abs=0.05)
+    assert ovh.ratios[3.0] == pytest.approx(5.8, abs=0.05)
+
+
+def test_limiting_factor_classification():
+    assert limiting_factor(2.0, 4.0) == LimitingFactor.CPU
+    assert limiting_factor(6.0, 4.0) == LimitingFactor.MEMORY
+    assert limiting_factor(3.95, 4.0) == LimitingFactor.BALANCED
+
+
+def test_azure_levels_classified_as_in_section3b():
+    """§III-B with 4 GB/core PMs: Azure 1:1 and 2:1 CPU-bound, 3:1
+    memory-bound."""
+    cls = classify_levels(AZURE, target_mc=4.0)
+    assert cls[1.0] == LimitingFactor.CPU
+    assert cls[2.0] == LimitingFactor.CPU
+    assert cls[3.0] == LimitingFactor.MEMORY
+
+
+def test_ovhcloud_levels_classified_as_in_section3b():
+    """§III-B: OVHcloud 1:1 CPU-bound, 2:1 balanced (3.9 ~= 4), 3:1
+    heavily memory-bound."""
+    cls = classify_levels(OVHCLOUD, target_mc=4.0)
+    assert cls[1.0] == LimitingFactor.CPU
+    assert cls[2.0] == LimitingFactor.BALANCED
+    assert cls[3.0] == LimitingFactor.MEMORY
+
+
+def test_everything_memory_bound_on_2gb_per_core_pms():
+    """§III-B: 'With PMs operating at a M/C ratio of 2 GB per core, all
+    the workloads outlined in Table II experience memory saturation'."""
+    for catalog in (AZURE, OVHCLOUD):
+        cls = classify_levels(catalog, target_mc=2.0)
+        assert all(v == LimitingFactor.MEMORY for v in cls.values())

@@ -1,0 +1,50 @@
+"""Tests of the top-level SlackVM facade."""
+
+import pytest
+
+from repro import SlackVM, SlackVMConfig
+from repro.workload import OVHCLOUD, WorkloadParams, generate_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload(
+        WorkloadParams(catalog=OVHCLOUD, level_mix="F", target_population=100, seed=7)
+    )
+
+
+def test_place_on_fixed_cluster(trace):
+    result = SlackVM().place(trace, num_hosts=20)
+    assert result.num_hosts == 20
+    assert result.feasible
+
+
+def test_place_too_small_cluster_rejects(trace):
+    result = SlackVM().place(trace, num_hosts=1)
+    assert not result.feasible
+
+
+def test_size_cluster(trace):
+    sized = SlackVM().size_cluster(trace)
+    assert sized.pms >= sized.lower_bound
+    assert sized.result.feasible
+
+
+def test_evaluate_with_pregenerated_workload(trace):
+    outcome = SlackVM().evaluate(OVHCLOUD, trace)
+    assert outcome.baseline_pms >= outcome.slackvm_pms - 1
+
+
+def test_evaluate_mix_end_to_end():
+    outcome = SlackVM().evaluate_mix(OVHCLOUD, "F", target_population=100, seed=7)
+    assert outcome.mix == (50, 0, 50)
+    assert outcome.slackvm_pms >= 1
+
+
+def test_config_is_respected(trace):
+    no_pool = SlackVM(config=SlackVMConfig(pooling=False))
+    pooled = SlackVM(config=SlackVMConfig(pooling=True))
+    r1 = no_pool.place(trace, num_hosts=20)
+    r2 = pooled.place(trace, num_hosts=20)
+    assert r1.pooled_placements == 0
+    assert r2.pooled_placements >= 0

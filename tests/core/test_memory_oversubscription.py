@@ -1,0 +1,129 @@
+"""Tests of the memory-oversubscription extension (paper §VIII +
+footnote 2: OpenStack defaults to 16:1 CPU and 1.5:1 DRAM)."""
+
+import pytest
+
+from repro.core import (
+    CapacityError,
+    ConfigError,
+    LEVEL_1_1,
+    OversubscriptionLevel,
+    ResourceVector,
+    SlackVMConfig,
+    VMRequest,
+    VMSpec,
+)
+from repro.hardware import MachineSpec
+from repro.localsched import LocalScheduler
+
+MEM_LEVEL = OversubscriptionLevel(2.0, mem_ratio=1.5)
+
+
+def vm(vm_id="vm", vcpus=2, mem=6.0, level=MEM_LEVEL):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level)
+
+
+class TestLevelSemantics:
+    def test_name_includes_memory_ratio(self):
+        assert MEM_LEVEL.name == "2:1(mem 1.5:1)"
+        assert OversubscriptionLevel(2.0).name == "2:1"
+
+    def test_physical_mem_scaling(self):
+        assert MEM_LEVEL.physical_mem_for(6.0) == pytest.approx(4.0)
+        assert LEVEL_1_1.physical_mem_for(6.0) == 6.0
+
+    def test_allocation_divides_both_dimensions(self):
+        alloc = VMSpec(4, 6.0).allocation(MEM_LEVEL)
+        assert alloc == ResourceVector(2.0, 4.0)
+
+    def test_premium_requires_both_ratios_at_one(self):
+        assert not OversubscriptionLevel(1.0, mem_ratio=1.5).is_premium
+        assert LEVEL_1_1.is_premium
+
+    def test_satisfies_requires_both_dimensions(self):
+        plain_2 = OversubscriptionLevel(2.0)
+        assert plain_2.satisfies(MEM_LEVEL)  # stricter memory, same CPU
+        assert not MEM_LEVEL.satisfies(plain_2)  # looser memory
+        assert MEM_LEVEL.satisfies(OversubscriptionLevel(3.0, mem_ratio=2.0))
+
+    def test_invalid_mem_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            OversubscriptionLevel(2.0, mem_ratio=0.5)
+
+
+class TestAgentAccounting:
+    @pytest.fixture
+    def agent(self):
+        cfg = SlackVMConfig(levels=(LEVEL_1_1, MEM_LEVEL))
+        return LocalScheduler(MachineSpec("pm", 8, 16.0), cfg)
+
+    def test_memory_reservation_is_divided(self, agent):
+        agent.deploy(vm(mem=6.0))
+        assert agent.allocated_mem == pytest.approx(4.0)
+        assert agent.free_mem == pytest.approx(12.0)
+
+    def test_memory_oversubscription_admits_more_vms(self, agent):
+        # 16 GB physical; at 1.5:1, 24 GB of virtual memory fit.
+        for i in range(4):
+            agent.deploy(vm(vm_id=f"v{i}", vcpus=2, mem=6.0))
+        assert agent.allocated_mem == pytest.approx(16.0)
+        assert not agent.can_deploy(vm(vm_id="extra", vcpus=1, mem=1.0))
+
+    def test_removal_restores_physical_reservation(self, agent):
+        agent.deploy(vm(vm_id="a", mem=6.0))
+        agent.remove("a")
+        assert agent.allocated_mem == 0.0
+
+    def test_mismatched_mem_ratio_is_unsupported(self, agent):
+        plain = VMRequest(vm_id="x", spec=VMSpec(2, 4.0),
+                          level=OversubscriptionLevel(2.0))
+        assert agent.plan(plain) is None
+
+
+class TestVectorParity:
+    def test_vector_cluster_accounts_identically(self):
+        from repro.simulator import VectorCluster
+
+        cfg = SlackVMConfig(levels=(LEVEL_1_1, MEM_LEVEL))
+        cluster = VectorCluster([MachineSpec("pm", 8, 16.0)], cfg)
+        cluster.deploy(vm(vm_id="a", mem=6.0), host=0)
+        assert cluster.alloc_mem[0] == pytest.approx(4.0)
+        cluster.remove("a")
+        assert cluster.alloc_mem[0] == 0.0
+
+    def test_vector_rejects_mismatched_mem_ratio(self):
+        from repro.simulator import VectorCluster
+
+        cfg = SlackVMConfig(levels=(MEM_LEVEL,))
+        cluster = VectorCluster([MachineSpec("pm", 8, 16.0)], cfg)
+        plain = VMRequest(vm_id="x", spec=VMSpec(2, 4.0),
+                          level=OversubscriptionLevel(2.0))
+        with pytest.raises(ConfigError):
+            cluster.feasibility(plain)
+
+
+def test_remap_levels_applies_mem_ratio():
+    from repro.workload import AZURE, WorkloadParams, generate_workload, remap_levels
+
+    trace = generate_workload(
+        WorkloadParams(catalog=AZURE, level_mix=(50, 50, 0),
+                       target_population=50, seed=0)
+    )
+    remapped = remap_levels(trace, [LEVEL_1_1, MEM_LEVEL])
+    for vm_ in remapped:
+        if vm_.level.ratio == 2.0:
+            assert vm_.level.mem_ratio == 1.5
+        else:
+            assert vm_.level.mem_ratio == 1.0
+
+
+def test_remap_levels_rejects_unknown_ratio():
+    from repro.core import WorkloadError
+    from repro.workload import AZURE, WorkloadParams, generate_workload, remap_levels
+
+    trace = generate_workload(
+        WorkloadParams(catalog=AZURE, level_mix=(0, 0, 100),
+                       target_population=30, seed=0)
+    )
+    with pytest.raises(WorkloadError):
+        remap_levels(trace, [LEVEL_1_1])

@@ -1,0 +1,124 @@
+"""Tests of the dynamic-level cluster."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LEVEL_1_1,
+    LEVEL_3_1,
+    OversubscriptionLevel,
+    SlackVMConfig,
+    VMRequest,
+    VMSpec,
+)
+from repro.dynamiclevels import DynamicLevelCluster, DynamicLevelParams, DynamicLevelSimulation
+from repro.hardware import MachineSpec
+from repro.simulator import VectorCluster
+
+
+def vm(vm_id, vcpus=3, mem=2.0, level=LEVEL_3_1, kind="stress", param=0.2,
+       arrival=0.0, departure=None):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level,
+                     usage_kind=kind, usage_param=param,
+                     arrival=arrival, departure=departure)
+
+
+def machines(n=1, cpus=8, mem=64.0):
+    return [MachineSpec(f"pm-{i}", cpus, mem) for i in range(n)]
+
+
+def test_lightly_used_vnode_reserves_below_static():
+    cluster = DynamicLevelCluster(machines(), SlackVMConfig(),
+                                  DynamicLevelParams(max_ratio=6.0))
+    # 12 vCPUs at 3:1 static would need 4 CPUs; peak 12*0.2*1.2 = 2.88.
+    for i in range(4):
+        cluster.deploy(vm(f"v{i}", vcpus=3, param=0.2), host=0)
+    assert cluster.vnode_vcpus[2, 0] == 12
+    assert cluster.alloc_cpu[0] == 3  # ceil(2.88), below static 4
+
+    static = VectorCluster(machines(), SlackVMConfig())
+    for i in range(4):
+        static.deploy(vm(f"v{i}", vcpus=3, param=0.2), host=0)
+    assert static.alloc_cpu[0] == 4
+
+
+def test_max_ratio_floor_bounds_contention():
+    cluster = DynamicLevelCluster(machines(), SlackVMConfig(),
+                                  DynamicLevelParams(max_ratio=4.0))
+    # Nearly idle VMs: predicted peak ~0, but the 4:1 floor holds.
+    for i in range(4):
+        cluster.deploy(vm(f"v{i}", vcpus=3, kind="idle", param=0.0), host=0)
+    assert cluster.alloc_cpu[0] == 3  # ceil(12/4)
+
+
+def test_premium_level_is_never_dynamic():
+    cluster = DynamicLevelCluster(machines(), SlackVMConfig(),
+                                  DynamicLevelParams(max_ratio=6.0))
+    cluster.deploy(vm("p", vcpus=4, level=LEVEL_1_1, kind="idle", param=0.0), host=0)
+    assert cluster.alloc_cpu[0] == 4  # worst-case guarantee preserved
+
+
+def test_busy_vms_fall_back_to_static_reservation():
+    cluster = DynamicLevelCluster(machines(), SlackVMConfig(),
+                                  DynamicLevelParams(max_ratio=6.0, safety=1.2))
+    # Peak ~ 3*1.0*1.2 capped at vcpus=3: predicted 3 > static ceil(3/3)=1.
+    cluster.deploy(vm("hot", vcpus=3, param=1.0), host=0)
+    # Dynamic never reserves MORE than static.
+    assert cluster.alloc_cpu[0] == 1
+
+
+def test_remove_restores_zero_state():
+    cluster = DynamicLevelCluster(machines(), SlackVMConfig(),
+                                  DynamicLevelParams())
+    for i in range(3):
+        cluster.deploy(vm(f"v{i}"), host=0)
+    for i in range(3):
+        cluster.remove(f"v{i}")
+    assert cluster.alloc_cpu[0] == 0
+    assert np.all(cluster.peak_demand == 0)
+    assert np.all(cluster.vnode_cpus == 0)
+
+
+def test_dynamic_admits_more_vms_than_static():
+    dyn = DynamicLevelCluster(machines(cpus=8), SlackVMConfig(),
+                              DynamicLevelParams(max_ratio=8.0))
+    static = VectorCluster(machines(cpus=8), SlackVMConfig())
+    n_dyn = n_static = 0
+    for i in range(100):
+        request = vm(f"v{i}", vcpus=3, mem=0.5, param=0.15)
+        if dyn.feasibility(request)[0][0]:
+            dyn.deploy(request, 0)
+            n_dyn += 1
+        request2 = vm(f"w{i}", vcpus=3, mem=0.5, param=0.15)
+        if static.feasibility(request2)[0][0]:
+            static.deploy(request2, 0)
+            n_static += 1
+    assert n_dyn > n_static
+
+
+def test_simulation_end_to_end():
+    sim = DynamicLevelSimulation(machines(2), policy="progress")
+    trace = [vm(f"v{i}", arrival=float(i), departure=float(i) + 50.0)
+             for i in range(10)]
+    result = sim.run(trace)
+    assert result.feasible
+    assert len(result.placements) == 10
+
+
+def test_pooling_through_dynamic_cluster():
+    """§V-B pooling still works when vNodes are demand-sized."""
+    from repro.core import LEVEL_2_1
+
+    cluster = DynamicLevelCluster(machines(cpus=8), SlackVMConfig(pooling=True),
+                                  DynamicLevelParams(max_ratio=6.0))
+    # Fill the PM: premium takes 6 CPUs; a 2:1 vNode with slack.
+    cluster.deploy(vm("prem", vcpus=6, mem=4.0, level=LEVEL_1_1,
+                      kind="stress", param=1.0), host=0)
+    cluster.deploy(vm("mid", vcpus=3, mem=4.0, level=LEVEL_2_1,
+                      kind="stress", param=1.0), host=0)
+    probe = vm("low", vcpus=1, mem=2.0, level=LEVEL_3_1, kind="stress", param=1.0)
+    feasible, _, own = cluster.feasibility(probe)
+    record = cluster.deploy(probe, host=0)
+    assert record.pooled
+    cluster.remove("low")
+    assert cluster.vnode_vcpus[1, 0] == 3  # 2:1 vNode restored

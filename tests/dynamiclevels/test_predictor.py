@@ -1,0 +1,69 @@
+"""Tests of the peak-usage predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigError, LEVEL_3_1, VMRequest, VMSpec
+from repro.dynamiclevels import (
+    MeanStdPredictor,
+    PercentilePredictor,
+    analytic_peak_demand,
+)
+
+
+def vm(kind, param, vcpus=4):
+    return VMRequest(vm_id="vm", spec=VMSpec(vcpus, 4.0), level=LEVEL_3_1,
+                     usage_kind=kind, usage_param=param)
+
+
+class TestSamplePredictors:
+    def test_percentile_predictor(self):
+        samples = np.arange(101, dtype=float)
+        assert PercentilePredictor(99.0).predict(samples) == pytest.approx(99.0)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ConfigError):
+            PercentilePredictor(0.0)
+        with pytest.raises(ConfigError):
+            PercentilePredictor(101.0)
+
+    def test_meanstd_predictor(self):
+        samples = np.array([1.0, 1.0, 1.0])
+        assert MeanStdPredictor(3.0).predict(samples) == pytest.approx(1.0)
+        noisy = np.array([0.0, 2.0])
+        assert MeanStdPredictor(1.0).predict(noisy) == pytest.approx(2.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            PercentilePredictor().predict(np.array([]))
+        with pytest.raises(ConfigError):
+            MeanStdPredictor().predict(np.array([]))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigError):
+            MeanStdPredictor(-1.0)
+
+
+class TestAnalyticPeak:
+    def test_idle_vm_has_tiny_peak(self):
+        assert analytic_peak_demand(vm("idle", 0.0)) < 0.5
+
+    def test_stress_peak_scales_with_param(self):
+        low = analytic_peak_demand(vm("stress", 0.2))
+        high = analytic_peak_demand(vm("stress", 0.6))
+        assert high == pytest.approx(3 * low)
+
+    def test_interactive_includes_diurnal_headroom(self):
+        flat = analytic_peak_demand(vm("stress", 0.4), safety=1.0)
+        diurnal = analytic_peak_demand(vm("interactive", 0.4), safety=1.0)
+        assert diurnal == pytest.approx(1.5 * flat)
+
+    def test_peak_never_exceeds_vcpus(self):
+        assert analytic_peak_demand(vm("stress", 1.0, vcpus=2), safety=2.0) == 2.0
+
+    def test_unknown_kind_assumes_worst(self):
+        assert analytic_peak_demand(vm("batch", 0.1), safety=1.0) == 4.0
+
+    def test_safety_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            analytic_peak_demand(vm("stress", 0.5), safety=0.9)

@@ -1,0 +1,62 @@
+"""Tests of the Algorithm 1 core-distance metric."""
+
+import numpy as np
+
+from repro.hardware import build_topology, epyc_7662_dual
+
+
+def test_smt_siblings_are_distance_zero():
+    topo = epyc_7662_dual()
+    assert topo.core_distance(0, 1) == 0.0
+
+
+def test_same_llc_group_distance():
+    # EPYC: cores of one CCX share only the L3 => one miss at the core
+    # level, then L1 and L2 differ: 10 * 3 = 30.
+    topo = epyc_7662_dual()
+    # cpu 0 (phys 0) and cpu 2 (phys 1) are in the same 4-core CCX.
+    assert topo.core_distance(0, 2) == 30.0
+
+
+def test_same_socket_different_llc_adds_numa_local():
+    topo = epyc_7662_dual()
+    # phys 0 and phys 4 are in different CCXs, same socket: no cache is
+    # shared at any of the 3 levels => 10 * 4 + local NUMA distance 10.
+    assert topo.core_distance(0, 8) == 50.0
+
+
+def test_cross_socket_adds_remote_numa():
+    topo = epyc_7662_dual()
+    assert topo.core_distance(0, 128) == 40.0 + 32.0
+
+
+def test_distance_is_symmetric_and_zero_diag():
+    topo = build_topology(sockets=2, cores_per_socket=4, smt=2, llc_group=2)
+    d = topo.distance_matrix()
+    assert np.allclose(d, d.T)
+    assert np.all(np.diag(d) == 0.0)
+
+
+def test_distance_matrix_matches_pairwise_function():
+    topo = build_topology(sockets=2, cores_per_socket=4, smt=2, llc_group=2)
+    d = topo.distance_matrix()
+    for i in range(topo.num_cpus):
+        for j in range(topo.num_cpus):
+            assert d[i, j] == topo.core_distance(i, j)
+
+
+def test_monolithic_llc_keeps_socket_cores_close():
+    topo = build_topology(sockets=2, cores_per_socket=4, smt=1)
+    # Same socket: shares the LLC => 30; cross socket: 40 + remote NUMA.
+    assert topo.core_distance(0, 3) == 30.0
+    assert topo.core_distance(0, 4) > topo.core_distance(0, 3)
+
+
+def test_distance_hierarchy_is_ordered():
+    """Closer cache sharing must always mean smaller distance."""
+    topo = epyc_7662_dual()
+    sibling = topo.core_distance(0, 1)
+    same_ccx = topo.core_distance(0, 2)
+    same_socket = topo.core_distance(0, 8)
+    cross_socket = topo.core_distance(0, 128)
+    assert sibling < same_ccx < same_socket < cross_socket

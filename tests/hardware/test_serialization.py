@@ -1,0 +1,65 @@
+"""Topology serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopologyError
+from repro.hardware import build_topology, epyc_7662_dual
+from repro.hardware.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+def test_roundtrip_preserves_structure():
+    topo = build_topology(sockets=2, cores_per_socket=4, smt=2,
+                          llc_group=2, numa_per_socket=2)
+    back = topology_from_dict(topology_to_dict(topo))
+    assert back.num_cpus == topo.num_cpus
+    assert back.num_physical_cores == topo.num_physical_cores
+    assert back.num_sockets == topo.num_sockets
+    assert back.num_numa_nodes == topo.num_numa_nodes
+    assert np.array_equal(back.distance_matrix(), topo.distance_matrix())
+
+
+def test_roundtrip_epyc_through_file(tmp_path):
+    topo = epyc_7662_dual()
+    path = tmp_path / "epyc.json"
+    save_topology(topo, path)
+    back = load_topology(path)
+    assert back.num_cpus == 256
+    assert back.core_distance(0, 1) == 0.0
+    assert back.core_distance(0, 128) == topo.core_distance(0, 128)
+
+
+def test_unsorted_cpu_rows_are_accepted():
+    topo = build_topology(sockets=1, cores_per_socket=2, smt=1)
+    data = topology_to_dict(topo)
+    data["cpus"].reverse()
+    back = topology_from_dict(data)
+    assert back.num_cpus == 2
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.pop("cpus"),
+        lambda d: d.pop("numa_distances"),
+        lambda d: d.update(version=99),
+        lambda d: d["cpus"][0].pop("cache_ids"),
+    ],
+)
+def test_invalid_descriptions_rejected(mutate):
+    data = topology_to_dict(build_topology(sockets=1, cores_per_socket=2))
+    mutate(data)
+    with pytest.raises(TopologyError):
+        topology_from_dict(data)
+
+
+def test_invalid_json_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(TopologyError):
+        load_topology(path)

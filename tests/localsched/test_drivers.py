@@ -1,0 +1,87 @@
+"""Hypervisor-driver boundary tests (§IV/§V operation stream)."""
+
+import pytest
+
+from repro.core import LEVEL_1_1, LEVEL_2_1, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.localsched import LocalScheduler
+from repro.localsched.drivers import NullDriver, RecordingDriver
+
+
+def vm(vm_id, vcpus=2, mem=4.0, level=LEVEL_2_1):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level)
+
+
+@pytest.fixture
+def rig():
+    driver = RecordingDriver()
+    agent = LocalScheduler(MachineSpec("pm", 8, 32.0), SlackVMConfig(),
+                           driver=driver)
+    return agent, driver
+
+
+def test_create_pins_to_vnode_cpus(rig):
+    agent, driver = rig
+    agent.deploy(vm("a", vcpus=4))
+    node = agent.vnode_for(LEVEL_2_1)
+    assert driver.pinning_of("a") == node.cpu_ids
+    assert driver.actions("create")[0].vm_id == "a"
+
+
+def test_growth_repins_existing_residents_first(rig):
+    agent, driver = rig
+    agent.deploy(vm("a", vcpus=4))  # 2 CPUs
+    agent.deploy(vm("b", vcpus=4))  # grows to 4 CPUs
+    # Order: repin 'a' to the extended range, then create 'b'.
+    actions = [(op.action, op.vm_id) for op in driver.ops]
+    assert actions == [("create", "a"), ("repin", "a"), ("create", "b")]
+    node = agent.vnode_for(LEVEL_2_1)
+    assert driver.pinning_of("a") == node.cpu_ids
+    assert driver.pinning_of("b") == node.cpu_ids
+
+
+def test_slack_reuse_issues_no_repin(rig):
+    agent, driver = rig
+    agent.deploy(vm("a", vcpus=3))  # 2 CPUs, 1 vCPU slack
+    agent.deploy(vm("b", vcpus=1))  # fits in slack
+    assert driver.actions("repin") == []
+
+
+def test_departure_destroys_and_repins_survivors(rig):
+    agent, driver = rig
+    agent.deploy(vm("a", vcpus=4))
+    agent.deploy(vm("b", vcpus=4))
+    driver.ops.clear()
+    agent.remove("a")  # vNode shrinks 4 -> 2 CPUs
+    actions = [(op.action, op.vm_id) for op in driver.ops]
+    assert actions == [("destroy", "a"), ("repin", "b")]
+    node = agent.vnode_for(LEVEL_2_1)
+    assert driver.pinning_of("b") == node.cpu_ids
+
+
+def test_last_departure_only_destroys(rig):
+    agent, driver = rig
+    agent.deploy(vm("a"))
+    driver.ops.clear()
+    agent.remove("a")
+    assert [(op.action, op.vm_id) for op in driver.ops] == [("destroy", "a")]
+
+
+def test_levels_do_not_cross_repin(rig):
+    agent, driver = rig
+    agent.deploy(vm("prem", vcpus=2, level=LEVEL_1_1))
+    driver.ops.clear()
+    agent.deploy(vm("a", vcpus=4, level=LEVEL_2_1))
+    # Growing the 2:1 vNode never touches the premium VM's pinning.
+    assert all(op.vm_id != "prem" for op in driver.ops)
+
+
+def test_null_driver_is_default():
+    agent = LocalScheduler(MachineSpec("pm", 8, 32.0), SlackVMConfig())
+    assert isinstance(agent.driver, NullDriver)
+    agent.deploy(vm("a"))  # simply must not crash
+
+
+def test_pinning_of_unknown_vm():
+    with pytest.raises(KeyError):
+        RecordingDriver().pinning_of("ghost")

@@ -1,0 +1,92 @@
+"""NUMA-local memory planning tests."""
+
+import pytest
+
+from repro.core import (
+    CapacityError,
+    LEVEL_1_1,
+    LEVEL_2_1,
+    SlackVMConfig,
+    TopologyError,
+    VMRequest,
+    VMSpec,
+)
+from repro.hardware import MachineSpec, build_topology
+from repro.localsched import LocalScheduler
+from repro.localsched.numa_memory import NumaMemoryPlanner
+
+
+def two_node_agent(mem=64.0):
+    topo = build_topology(sockets=2, cores_per_socket=4, smt=1, llc_group=2)
+    return LocalScheduler(
+        MachineSpec("pm", 8, mem), SlackVMConfig(), topology=topo
+    )
+
+
+def vm(vm_id, vcpus=2, mem=8.0, level=LEVEL_1_1):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level)
+
+
+def test_single_vnode_memory_is_local():
+    agent = two_node_agent()
+    agent.deploy(vm("a", vcpus=2, mem=16.0))
+    planner = NumaMemoryPlanner(agent)
+    plans = planner.plan()
+    assert len(plans) == 1
+    assert plans[0].locality == 1.0
+    # All 16 GB on the node hosting the vNode's CPUs.
+    assert max(plans[0].per_numa_gb) == 16.0
+
+
+def test_vnodes_on_different_sockets_use_their_own_nodes():
+    agent = two_node_agent()
+    agent.deploy(vm("a", vcpus=2, mem=16.0, level=LEVEL_1_1))
+    agent.deploy(vm("b", vcpus=2, mem=16.0, level=LEVEL_2_1))
+    planner = NumaMemoryPlanner(agent)
+    assert planner.locality_share() == 1.0
+    plans = {p.node_id: p for p in planner.plan()}
+    # The two vNodes reserve on different NUMA nodes (seeded far apart).
+    used_nodes = [tuple(i for i, g in enumerate(p.per_numa_gb) if g > 0)
+                  for p in plans.values()]
+    assert used_nodes[0] != used_nodes[1]
+
+
+def test_spill_to_remote_node_when_local_full():
+    agent = two_node_agent(mem=64.0)  # 32 GB per node
+    agent.deploy(vm("a", vcpus=2, mem=40.0))  # exceeds one node
+    planner = NumaMemoryPlanner(agent)
+    plan = planner.plan()[0]
+    assert plan.local_gb == 32.0
+    assert plan.remote_gb == pytest.approx(8.0)
+    assert plan.locality == pytest.approx(32.0 / 40.0)
+
+
+def test_locality_share_weights_by_memory():
+    agent = two_node_agent(mem=64.0)
+    agent.deploy(vm("a", vcpus=2, mem=40.0, level=LEVEL_1_1))  # 8 GB remote
+    agent.deploy(vm("b", vcpus=2, mem=8.0, level=LEVEL_2_1))
+    planner = NumaMemoryPlanner(agent)
+    assert planner.locality_share() == pytest.approx(40.0 / 48.0)
+
+
+def test_asymmetric_node_sizes():
+    agent = two_node_agent(mem=64.0)
+    agent.deploy(vm("a", vcpus=2, mem=20.0))
+    planner = NumaMemoryPlanner(agent, node_mem_gb=[16.0, 48.0])
+    plan = planner.plan()[0]
+    assert plan.total_gb == pytest.approx(20.0)
+
+
+def test_validation():
+    agent = two_node_agent()
+    with pytest.raises(TopologyError):
+        NumaMemoryPlanner(agent, node_mem_gb=[64.0])
+    with pytest.raises(TopologyError):
+        NumaMemoryPlanner(agent, node_mem_gb=[10.0, 10.0])
+    accounting_agent = LocalScheduler(MachineSpec("pm", 8, 64.0), SlackVMConfig())
+    with pytest.raises(TopologyError):
+        NumaMemoryPlanner(accounting_agent)
+
+
+def test_empty_agent_is_fully_local():
+    assert NumaMemoryPlanner(two_node_agent()).locality_share() == 1.0

@@ -1,0 +1,57 @@
+"""Focused tests of MigratingSimulation bookkeeping."""
+
+from repro.core import LEVEL_1_1, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.migration import MigratingSimulation
+
+
+def vm(vm_id, vcpus=4, mem=4.0, arrival=0.0, departure=None):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=LEVEL_1_1,
+                     arrival=arrival, departure=departure)
+
+
+def machines(n, cpus=8, mem=32.0):
+    return [MachineSpec(f"pm-{i}", cpus, mem) for i in range(n)]
+
+
+def test_placement_records_follow_migrations():
+    """After a consolidation pass, the result's placement records must
+    point at the hosts the VMs actually ended on, and the whole-PM gap
+    created by the migration must be usable."""
+    sim = MigratingSimulation(machines(2), policy="first_fit",
+                              rebalance_interval=10.0)
+    trace = [
+        vm("a", vcpus=4, departure=5.0),   # host 0, gone before rebalance
+        vm("b", vcpus=4),                   # host 0 (now half empty)
+        vm("c", vcpus=2, arrival=1.0),      # host 0 full at t=1 -> host 1
+        vm("late", vcpus=8, arrival=20.0),  # needs a fully-empty PM
+    ]
+    result = sim.run(trace)
+    # Without migration 'late' (8 vCPUs) fits nowhere (hosts hold 4 and
+    # 2); the t=10 consolidation moves 'c' next to 'b' and frees host 1.
+    assert result.feasible
+    assert sim.total_migrations == 1
+    assert result.placements["c"].host == 0  # record updated by the move
+    assert result.placements["late"].host == 1
+
+
+def test_no_migrations_when_already_consolidated():
+    sim = MigratingSimulation(machines(2), policy="first_fit",
+                              rebalance_interval=5.0)
+    trace = [vm("a"), vm("late", arrival=11.0, vcpus=1)]
+    sim.run(trace)
+    assert sim.total_migrations == 0
+
+
+def test_multiple_rebalance_intervals_fire():
+    sim = MigratingSimulation(machines(3), policy="first_fit",
+                              rebalance_interval=5.0)
+    trace = [
+        vm("a", vcpus=6, departure=30.0),
+        vm("b", vcpus=6, arrival=1.0),
+        vm("c", vcpus=2, arrival=2.0),
+        vm("late", vcpus=1, arrival=21.0),
+    ]
+    result = sim.run(trace)
+    assert result.feasible
+    assert sim.last_report is not None

@@ -1,0 +1,106 @@
+"""Tests of the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigError
+from repro.perfmodel import LatencyParams, LatencyTracker, percentile_windows
+
+
+def tracker(seed=0, vcpus=2, **params):
+    return LatencyTracker(
+        params=LatencyParams(**params),
+        vm_id="vm",
+        vcpus=vcpus,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def drive(tr, ticks=600, demand=0.5, slowdown=1.0, pressure=0.0,
+          pm_util=0.0, pool_util=0.0, pool_size=64):
+    for t in range(ticks):
+        tr.observe(float(t), 1.0, demand, slowdown, pressure, pm_util,
+                   pool_utilization=pool_util, pool_size=pool_size)
+
+
+def median_p90(tr):
+    return float(np.median(tr.window_p90s()))
+
+
+class TestLatencyMechanics:
+    def test_uncontended_latency_near_service_time(self):
+        tr = tracker()
+        drive(tr)
+        assert median_p90(tr) < 5 * tr.params.service_time
+
+    def test_slowdown_increases_latency(self):
+        fast, slow = tracker(), tracker()
+        drive(fast, slowdown=1.0)
+        drive(slow, slowdown=0.5)
+        assert median_p90(slow) > median_p90(fast)
+
+    def test_smt_pressure_increases_latency(self):
+        calm, pressured = tracker(), tracker()
+        drive(calm, pressure=0.0)
+        drive(pressured, pressure=1.0)
+        assert median_p90(pressured) > median_p90(calm)
+
+    def test_pm_interference_increases_latency(self):
+        quiet, noisy = tracker(), tracker()
+        drive(quiet, pm_util=0.0)
+        drive(noisy, pm_util=1.0)
+        assert median_p90(noisy) > median_p90(quiet)
+
+    def test_saturated_small_pool_hurts_more_than_big_pool(self):
+        """The economy-of-scale term: the same pool utilisation delays a
+        small pinned vNode far more than a whole machine."""
+        vnode, machine = tracker(), tracker()
+        drive(vnode, pool_util=0.93, pool_size=16)
+        drive(machine, pool_util=0.93, pool_size=128)
+        assert median_p90(vnode) > 1.5 * median_p90(machine)
+
+    def test_overload_accumulates_backlog(self):
+        tr = tracker(vcpus=1)
+        drive(tr, demand=0.9, slowdown=0.5, ticks=300)  # capacity 0.5 < 0.9
+        assert tr.backlog > 0
+        assert median_p90(tr) > 20 * tr.params.service_time
+
+    def test_no_arrivals_records_no_samples(self):
+        tr = tracker()
+        drive(tr, demand=0.0, ticks=50)
+        assert tr.samples == []
+        assert tr.window_p90s().size == 0
+
+
+class TestWindows:
+    def test_percentile_windows_partitions_time(self):
+        times = np.array([0.0, 10.0, 29.0, 30.0, 45.0])
+        values = np.array([1.0, 2.0, 3.0, 10.0, 20.0])
+        p = percentile_windows(times, values, window=30.0, q=50.0)
+        assert len(p) == 2
+        assert p[0] == pytest.approx(2.0)
+        assert p[1] == pytest.approx(15.0)
+
+    def test_empty_series(self):
+        assert percentile_windows(np.array([]), np.array([]), 30.0, 90.0).size == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile_windows(np.array([1.0]), np.array([1.0, 2.0]), 30.0, 90.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(service_time=0.0),
+            dict(window=-1.0),
+            dict(smt_latency_penalty=-0.1),
+            dict(interference=-0.1),
+            dict(rho_max=1.0),
+            dict(rho_max=0.0),
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            LatencyParams(**kwargs)

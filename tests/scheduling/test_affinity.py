@@ -1,0 +1,62 @@
+"""Tests of the anti-affinity production rule."""
+
+from repro.core import LEVEL_1_1, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.scheduling import ScoreBasedScheduler
+from repro.scheduling.filters import AntiAffinityFilter, CapacityFilter, LevelSupportFilter
+from repro.scheduling.weighers import FirstFitWeigher
+from repro.simulator import Simulation, build_hosts
+
+MACHINE = MachineSpec("pm", 16, 64.0)
+
+
+def replica(vm_id, group, arrival=0.0):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(2, 4.0), level=LEVEL_1_1,
+                     arrival=arrival, metadata={"anti_affinity": group})
+
+
+def plain(vm_id, arrival=0.0):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(2, 4.0), level=LEVEL_1_1,
+                     arrival=arrival)
+
+
+def scheduler():
+    return ScoreBasedScheduler(
+        filters=(LevelSupportFilter(), CapacityFilter(), AntiAffinityFilter()),
+        weighers=((FirstFitWeigher(), 1.0),),
+        name="first-fit+anti-affinity",
+    )
+
+
+def test_replicas_spread_across_hosts():
+    hosts = build_hosts(MACHINE, 3, SlackVMConfig())
+    sim = Simulation(hosts, scheduler())
+    trace = [replica(f"db-{i}", "db", arrival=float(i)) for i in range(3)]
+    result = sim.run(trace)
+    assert result.feasible
+    placements = {result.placements[f"db-{i}"].host for i in range(3)}
+    assert len(placements) == 3
+
+
+def test_untagged_vms_pack_normally():
+    hosts = build_hosts(MACHINE, 3, SlackVMConfig())
+    sim = Simulation(hosts, scheduler())
+    result = sim.run([plain(f"v{i}", arrival=float(i)) for i in range(3)])
+    assert {rec.host for rec in result.placements.values()} == {0}
+
+
+def test_groups_are_independent():
+    hosts = build_hosts(MACHINE, 2, SlackVMConfig())
+    sim = Simulation(hosts, scheduler())
+    trace = [replica("db-0", "db"), replica("web-0", "web", arrival=1.0)]
+    result = sim.run(trace)
+    # Different groups may share a host.
+    assert result.placements["db-0"].host == result.placements["web-0"].host == 0
+
+
+def test_rejection_when_replicas_exceed_hosts():
+    hosts = build_hosts(MACHINE, 2, SlackVMConfig())
+    sim = Simulation(hosts, scheduler())
+    trace = [replica(f"db-{i}", "db", arrival=float(i)) for i in range(3)]
+    result = sim.run(trace)
+    assert result.rejections == ["db-2"]

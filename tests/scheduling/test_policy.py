@@ -1,0 +1,109 @@
+"""Declarative scheduler-policy tests."""
+
+import json
+
+import pytest
+
+from repro.core import ConfigError, LEVEL_1_1, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.scheduling.filters import HostFilter
+from repro.scheduling.policy import (
+    FILTER_REGISTRY,
+    WEIGHER_REGISTRY,
+    load_policy,
+    register_filter,
+    register_weigher,
+    scheduler_from_spec,
+)
+from repro.simulator import Simulation, build_hosts
+
+
+def vm(vm_id, vcpus=2, mem=4.0):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=LEVEL_1_1)
+
+
+def test_default_spec_builds_progress_policy():
+    sched = scheduler_from_spec({})
+    assert len(sched.filters) == 2
+    assert len(sched.weighers) == 1
+
+
+def test_full_spec_roundtrip():
+    sched = scheduler_from_spec({
+        "name": "prod",
+        "filters": ["level_support", "capacity",
+                    {"name": "max_vms", "max_vms": 2}],
+        "weighers": [
+            {"name": "progress", "weight": 1.0},
+            {"name": "best_fit", "weight": 0.2},
+            {"name": "first_fit", "weight": 1e-9},
+        ],
+    })
+    assert sched.name == "prod"
+    assert len(sched.filters) == 3
+    assert [w for _, w in sched.weighers] == [1.0, 0.2, 1e-9]
+
+
+def test_policy_actually_schedules():
+    sched = scheduler_from_spec({
+        "filters": ["level_support", "capacity", {"name": "max_vms", "max_vms": 1}],
+        "weighers": ["first_fit"],
+    })
+    hosts = build_hosts(MachineSpec("pm", 16, 64.0), 3, SlackVMConfig())
+    result = Simulation(hosts, sched).run([vm(f"v{i}") for i in range(3)])
+    # max_vms 1: each VM on its own host.
+    assert {r.host for r in result.placements.values()} == {0, 1, 2}
+
+
+def test_weigher_kwargs_forwarded():
+    sched = scheduler_from_spec({
+        "weighers": [{"name": "progress", "weight": 1.0,
+                      "negative_factor": False}],
+    })
+    weigher = sched.weighers[0][0]
+    assert weigher.negative_factor is False
+
+
+def test_load_policy_from_file(tmp_path):
+    path = tmp_path / "policy.json"
+    path.write_text(json.dumps({"name": "file-policy",
+                                "weighers": ["best_fit"]}))
+    sched = load_policy(path)
+    assert sched.name == "file-policy"
+
+
+def test_invalid_json_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{nope")
+    with pytest.raises(ConfigError):
+        load_policy(path)
+
+
+@pytest.mark.parametrize("spec", [
+    {"filters": ["bogus"]},
+    {"weighers": ["bogus"]},
+    {"weighers": []},
+    {"filters": [42]},
+    {"weighers": [{"weight": 1.0}]},
+    {"filters": [{"name": "max_vms"}]},  # missing required kwarg
+    "not-a-mapping",
+])
+def test_invalid_specs_rejected(spec):
+    with pytest.raises(ConfigError):
+        scheduler_from_spec(spec)
+
+
+def test_custom_registration():
+    class AlwaysPass(HostFilter):
+        def passes(self, host, vm):
+            return True
+
+    register_filter("always_pass_test", AlwaysPass)
+    try:
+        sched = scheduler_from_spec({"filters": ["always_pass_test"],
+                                     "weighers": ["first_fit"]})
+        assert isinstance(sched.filters[0], AlwaysPass)
+        with pytest.raises(ConfigError):
+            register_filter("always_pass_test", AlwaysPass)
+    finally:
+        FILTER_REGISTRY.pop("always_pass_test", None)

@@ -1,0 +1,52 @@
+"""Tests of the per-level vCluster view."""
+
+from repro.core import LEVEL_1_1, LEVEL_2_1, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.localsched import LocalScheduler
+from repro.scheduling import VCluster
+
+
+def vm(vm_id, vcpus=2, mem=4.0, level=LEVEL_2_1):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level)
+
+
+def make_cluster():
+    cfg = SlackVMConfig()
+    return [LocalScheduler(MachineSpec(f"pm-{i}", 16, 64.0), cfg) for i in range(3)]
+
+
+def test_vcluster_collects_only_its_level():
+    cluster = make_cluster()
+    cluster[0].deploy(vm("a", level=LEVEL_2_1))
+    cluster[1].deploy(vm("b", level=LEVEL_1_1))
+    cluster[2].deploy(vm("c", level=LEVEL_2_1))
+    vc = VCluster(LEVEL_2_1, cluster)
+    assert len(vc.vnodes()) == 2
+    stats = vc.stats()
+    assert stats.num_vms == 2
+    assert stats.level_name == "2:1"
+
+
+def test_vcluster_stats_aggregate():
+    cluster = make_cluster()
+    cluster[0].deploy(vm("a", vcpus=3))
+    cluster[1].deploy(vm("b", vcpus=4))
+    stats = VCluster(LEVEL_2_1, cluster).stats()
+    assert stats.allocated_vcpus == 7
+    assert stats.allocated_cpus == 4  # ceil(3/2) + ceil(4/2)
+    assert stats.capacity_vcpus == 8.0
+    assert stats.vcpu_utilization == 7 / 8
+
+
+def test_empty_vcluster():
+    stats = VCluster(LEVEL_2_1, make_cluster()).stats()
+    assert stats.num_vnodes == 0
+    assert stats.vcpu_utilization == 0.0
+
+
+def test_vcluster_allocation_vector():
+    cluster = make_cluster()
+    cluster[0].deploy(vm("a", vcpus=4, mem=8.0))
+    alloc = VCluster(LEVEL_2_1, cluster).allocation()
+    assert alloc.cpu == 2.0
+    assert alloc.mem == 8.0

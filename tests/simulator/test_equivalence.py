@@ -1,0 +1,143 @@
+"""Property tests: the vectorized engine must be semantically identical
+to the reference object-path engine (same placements, same rejections,
+same timelines) for every policy, on random workloads.
+
+This is the load-bearing guarantee that lets the at-scale benches run
+on the fast path while the paper's mechanisms stay validated on the
+readable path.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import OversubscriptionLevel, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.scheduling import (
+    best_fit_scheduler,
+    first_fit_scheduler,
+    slackvm_combined_scheduler,
+    slackvm_scheduler,
+    worst_fit_scheduler,
+)
+from repro.scheduling.global_scheduler import ScoreBasedScheduler
+from repro.scheduling.weighers import FirstFitWeigher, ProgressWeigher, WorstFitWeigher
+from repro.localsched import LocalScheduler
+from repro.simulator import Simulation, VectorSimulation, build_hosts
+
+MACHINE = MachineSpec("pm", 16, 64.0)
+
+OBJECT_SCHEDULERS = {
+    "first_fit": first_fit_scheduler,
+    "best_fit": best_fit_scheduler,
+    "worst_fit": worst_fit_scheduler,
+    "progress": slackvm_scheduler,
+    "progress_no_factor": lambda: slackvm_scheduler(negative_factor=False),
+    "progress_bestfit": slackvm_combined_scheduler,
+}
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    vms = []
+    for i in range(n):
+        vcpus = draw(st.sampled_from([1, 2, 4, 8]))
+        mem = float(draw(st.sampled_from([1, 2, 4, 8, 16])))
+        ratio = draw(st.sampled_from([1.0, 2.0, 3.0]))
+        arrival = draw(st.floats(min_value=0.0, max_value=100.0))
+        stays = draw(st.booleans())
+        lifetime = draw(st.floats(min_value=0.5, max_value=50.0))
+        vms.append(
+            VMRequest(
+                vm_id=f"vm-{i:03d}",
+                spec=VMSpec(vcpus, mem),
+                level=OversubscriptionLevel(ratio),
+                arrival=arrival,
+                departure=None if stays else arrival + lifetime,
+            )
+        )
+    return vms
+
+
+def run_both(workload, policy, pooling, num_hosts=3):
+    cfg = SlackVMConfig(pooling=pooling)
+    hosts = build_hosts(MACHINE, num_hosts, cfg)
+    obj = Simulation(hosts, OBJECT_SCHEDULERS[policy]()).run(workload)
+    machines = [MachineSpec(f"pm-{i}", 16, 64.0) for i in range(num_hosts)]
+    vec = VectorSimulation(machines, config=cfg, policy=policy).run(workload)
+    return obj, vec
+
+
+def assert_identical(obj, vec):
+    assert set(obj.placements) == set(vec.placements)
+    for vm_id, rec in obj.placements.items():
+        vrec = vec.placements[vm_id]
+        assert rec.host == vrec.host, vm_id
+        assert rec.hosted_ratio == vrec.hosted_ratio, vm_id
+        assert rec.pooled == vrec.pooled, vm_id
+    assert obj.rejections == vec.rejections
+    assert obj.pooled_placements == vec.pooled_placements
+    assert obj.timeline.alloc_cpu == vec.timeline.alloc_cpu
+    assert obj.timeline.alloc_mem == vec.timeline.alloc_mem
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), pooling=st.booleans())
+def test_first_fit_engines_agree(workload, pooling):
+    assert_identical(*run_both(workload, "first_fit", pooling))
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads(), pooling=st.booleans())
+def test_progress_engines_agree(workload, pooling):
+    assert_identical(*run_both(workload, "progress", pooling))
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_progress_no_factor_engines_agree(workload):
+    assert_identical(*run_both(workload, "progress_no_factor", pooling=True))
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_best_fit_engines_agree(workload):
+    assert_identical(*run_both(workload, "best_fit", pooling=True))
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_progress_bestfit_engines_agree(workload):
+    assert_identical(*run_both(workload, "progress_bestfit", pooling=True))
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_worst_fit_engines_agree(workload):
+    assert_identical(*run_both(workload, "worst_fit", pooling=True))
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads(), data=st.data())
+def test_mixed_fleet_engines_agree(workload, data):
+    """Per-host level restrictions (dedicated/shared mixed fleets) must
+    also match between engines, pooling included."""
+    num_hosts = 3
+    all_sets = [(1.0,), (2.0,), (3.0,), (1.0, 2.0), (2.0, 3.0),
+                (1.0, 2.0, 3.0)]
+    host_levels = [data.draw(st.sampled_from(all_sets)) for _ in range(num_hosts)]
+    machines = [MachineSpec(f"pm-{i}", 16, 64.0) for i in range(num_hosts)]
+    vec = VectorSimulation(machines, config=SlackVMConfig(pooling=True),
+                           policy="first_fit", host_levels=host_levels).run(workload)
+    hosts = [
+        LocalScheduler(
+            m,
+            SlackVMConfig(
+                levels=tuple(OversubscriptionLevel(r) for r in ratios),
+                pooling=True,
+            ),
+        )
+        for m, ratios in zip(machines, host_levels)
+    ]
+    obj = Simulation(hosts, first_fit_scheduler()).run(workload)
+    assert_identical(obj, vec)

@@ -1,0 +1,56 @@
+"""Tests of the event queue ordering."""
+
+from repro.core import LEVEL_1_1, VMRequest, VMSpec
+from repro.simulator import EventKind, EventQueue, workload_events
+
+
+def vm(vm_id, arrival=0.0, departure=None):
+    return VMRequest(
+        vm_id=vm_id, spec=VMSpec(1, 1.0), level=LEVEL_1_1,
+        arrival=arrival, departure=departure,
+    )
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    q.push(5.0, EventKind.ARRIVAL, vm("a"))
+    q.push(1.0, EventKind.ARRIVAL, vm("b"))
+    q.push(3.0, EventKind.ARRIVAL, vm("c"))
+    assert [e.vm.vm_id for e in q.drain()] == ["b", "c", "a"]
+
+
+def test_departures_fire_before_arrivals_at_equal_time():
+    q = EventQueue()
+    q.push(2.0, EventKind.ARRIVAL, vm("incoming"))
+    q.push(2.0, EventKind.DEPARTURE, vm("leaving"))
+    kinds = [e.kind for e in q.drain()]
+    assert kinds == [EventKind.DEPARTURE, EventKind.ARRIVAL]
+
+
+def test_insertion_order_breaks_remaining_ties():
+    q = EventQueue()
+    q.push(1.0, EventKind.ARRIVAL, vm("first"))
+    q.push(1.0, EventKind.ARRIVAL, vm("second"))
+    assert [e.vm.vm_id for e in q.drain()] == ["first", "second"]
+
+
+def test_workload_events_includes_finite_departures_only():
+    trace = [vm("a", 0.0, 10.0), vm("b", 5.0, None)]
+    q = workload_events(trace)
+    events = list(q.drain())
+    assert len(events) == 3
+    kinds = [(e.time, e.kind) for e in events]
+    assert kinds == [
+        (0.0, EventKind.ARRIVAL),
+        (5.0, EventKind.ARRIVAL),
+        (10.0, EventKind.DEPARTURE),
+    ]
+
+
+def test_queue_len_and_bool():
+    q = EventQueue()
+    assert not q
+    q.push(0.0, EventKind.ARRIVAL, vm("a"))
+    assert q and len(q) == 1
+    q.pop()
+    assert not q

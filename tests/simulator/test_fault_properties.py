@@ -1,0 +1,85 @@
+"""Property tests: fault injection preserves every accounting invariant.
+
+Random workloads + random failure schedules: no VM may be double-placed
+or leaked, dead hosts stay empty, and every VM is exactly one of
+{placed-alive, departed, lost, rejected} at the end.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import OversubscriptionLevel, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.simulator.faults import FaultySimulation, HostFailure
+
+NUM_HOSTS = 3
+
+
+@st.composite
+def scenario(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    vms = []
+    for i in range(n):
+        arrival = draw(st.floats(min_value=0.0, max_value=50.0))
+        departs = draw(st.booleans())
+        vms.append(
+            VMRequest(
+                vm_id=f"vm-{i:03d}",
+                spec=VMSpec(
+                    draw(st.sampled_from([1, 2, 4, 8])),
+                    float(draw(st.sampled_from([1, 2, 4, 8]))),
+                ),
+                level=OversubscriptionLevel(draw(st.sampled_from([1.0, 2.0, 3.0]))),
+                arrival=arrival,
+                departure=arrival + draw(st.floats(min_value=0.5, max_value=30.0))
+                if departs
+                else None,
+            )
+        )
+    k = draw(st.integers(min_value=0, max_value=NUM_HOSTS - 1))
+    failures = [
+        HostFailure(
+            time=draw(st.floats(min_value=0.0, max_value=60.0)),
+            host=draw(st.integers(min_value=0, max_value=NUM_HOSTS - 1)),
+        )
+        for _ in range(k)
+    ]
+    # A host can only die once.
+    seen: set[int] = set()
+    failures = [f for f in failures if not (f.host in seen or seen.add(f.host))]
+    return vms, failures
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scenario(), policy=st.sampled_from(["first_fit", "progress"]))
+def test_fault_injection_invariants(case, policy):
+    vms, failures = case
+    machines = [MachineSpec(f"pm-{i}", 16, 64.0) for i in range(NUM_HOSTS)]
+    sim = FaultySimulation(machines, failures, config=SlackVMConfig(),
+                           policy=policy)
+    result = sim.run(vms)
+
+    dead = set(sim.report.failed_hosts)
+    lost = set(sim.report.lost_vms)
+    rejected = set(result.rejections)
+
+    # Dead hosts are unique and within range.
+    assert len(dead) == len(sim.report.failed_hosts)
+    assert dead <= set(range(NUM_HOSTS))
+    # Lost and rejected sets are disjoint (a VM is lost only after being
+    # placed; a rejected VM was never placed).
+    assert not (lost & rejected)
+    # Every lost VM had a placement record.
+    assert lost <= set(result.placements)
+    # Timeline allocations never go negative and never exceed the
+    # original full capacity.
+    _, cpu, mem = result.timeline.as_arrays()
+    assert np.all(cpu >= -1e-9) and np.all(mem >= -1e-9)
+    assert np.all(cpu <= NUM_HOSTS * 16 + 1e-9)
+    assert np.all(mem <= NUM_HOSTS * 64 + 1e-9)
+    # Capacity reported net of failures.
+    expected_cap = (NUM_HOSTS - len(dead)) * 16
+    assert result.capacity_cpu == pytest.approx(expected_cap, abs=1e-6)
+

@@ -1,0 +1,107 @@
+"""Per-host level restriction tests (mixed dedicated/shared fleets)."""
+
+import pytest
+
+from repro.core import (
+    ConfigError,
+    LEVEL_1_1,
+    LEVEL_2_1,
+    LEVEL_3_1,
+    OversubscriptionLevel,
+    SlackVMConfig,
+    VMRequest,
+    VMSpec,
+)
+from repro.hardware import MachineSpec
+from repro.localsched import LocalScheduler
+from repro.scheduling import first_fit_scheduler
+from repro.simulator import Simulation, VectorCluster, VectorSimulation
+
+
+def vm(vm_id, vcpus=2, mem=4.0, level=LEVEL_2_1, arrival=0.0, departure=None):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level,
+                     arrival=arrival, departure=departure)
+
+
+def machines(n=3, cpus=8, mem=32.0):
+    return [MachineSpec(f"pm-{i}", cpus, mem) for i in range(n)]
+
+
+def test_unsupported_host_is_infeasible():
+    cluster = VectorCluster(machines(2), SlackVMConfig(),
+                            host_levels=[(1.0,), (1.0, 2.0, 3.0)])
+    feasible, _, _ = cluster.feasibility(vm("x", level=LEVEL_2_1))
+    assert list(feasible) == [False, True]
+
+
+def test_deploy_on_unsupported_host_rejected():
+    from repro.core import CapacityError
+
+    cluster = VectorCluster(machines(2), SlackVMConfig(),
+                            host_levels=[(1.0,), (1.0, 2.0, 3.0)])
+    with pytest.raises(CapacityError):
+        cluster.deploy(vm("x", level=LEVEL_2_1), host=0)
+
+
+def test_pooling_requires_supported_levels():
+    # Host offers 2:1 and 3:1 but NOT the VM's 3:1... construct: host
+    # supports only (2.0,): a 3:1 VM cannot pool into it because its own
+    # level is not offered there.
+    cluster = VectorCluster(machines(1), SlackVMConfig(pooling=True),
+                            host_levels=[(2.0,)])
+    cluster.deploy(vm("mid", vcpus=3, level=LEVEL_2_1), host=0)
+    feasible, _, _ = cluster.feasibility(vm("low", vcpus=1, level=LEVEL_3_1))
+    assert not feasible.any()
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        VectorCluster(machines(2), SlackVMConfig(), host_levels=[(1.0,)])
+    with pytest.raises(ConfigError):
+        VectorCluster(machines(1), SlackVMConfig(), host_levels=[()])
+    with pytest.raises(ConfigError):
+        VectorCluster(machines(1), SlackVMConfig(), host_levels=[(7.0,)])
+
+
+def test_mixed_fleet_matches_object_path():
+    """A fleet of one premium-only PM, one oversub-only PM and one
+    shared PM must behave identically in both engines."""
+    host_levels = [(1.0,), (2.0, 3.0), (1.0, 2.0, 3.0)]
+    trace = [
+        vm("p1", vcpus=4, level=LEVEL_1_1),
+        vm("m1", vcpus=4, level=LEVEL_2_1, arrival=1.0),
+        vm("l1", vcpus=3, level=LEVEL_3_1, arrival=2.0),
+        vm("p2", vcpus=6, level=LEVEL_1_1, arrival=3.0),
+        vm("m2", vcpus=8, level=LEVEL_2_1, arrival=4.0, departure=10.0),
+        vm("l2", vcpus=6, level=LEVEL_3_1, arrival=5.0),
+        vm("p3", vcpus=8, level=LEVEL_1_1, arrival=6.0),
+    ]
+    vec = VectorSimulation(machines(), policy="first_fit",
+                           host_levels=host_levels).run(trace)
+
+    def cfg(ratios):
+        return SlackVMConfig(
+            levels=tuple(OversubscriptionLevel(r) for r in ratios)
+        )
+
+    hosts = [LocalScheduler(m, cfg(r)) for m, r in zip(machines(), host_levels)]
+    obj = Simulation(hosts, first_fit_scheduler()).run(trace)
+    assert {k: v.host for k, v in vec.placements.items()} == {
+        k: v.host for k, v in obj.placements.items()
+    }
+    assert vec.rejections == obj.rejections
+
+
+def test_dedicated_fleet_equals_separate_clusters():
+    """A fully dedicated mixed fleet must reject exactly what separate
+    dedicated clusters would reject."""
+    host_levels = [(1.0,), (3.0,)]
+    trace = [
+        vm("a", vcpus=8, level=LEVEL_1_1),
+        vm("b", vcpus=8, level=LEVEL_1_1, arrival=1.0),  # host 0 full
+        vm("c", vcpus=24, level=LEVEL_3_1, arrival=2.0),
+    ]
+    result = VectorSimulation(machines(2), policy="first_fit",
+                              host_levels=host_levels).run(trace)
+    assert result.rejections == ["b"]
+    assert result.placements["c"].host == 1

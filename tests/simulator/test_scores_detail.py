@@ -1,0 +1,88 @@
+"""Hand-computed score checks for the vector engine.
+
+The equivalence suite proves vector == object; these tests pin the
+actual numbers against Algorithm 2 computed by hand, so a bug that hit
+*both* engines identically would still be caught.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import LEVEL_1_1, LEVEL_2_1, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.simulator import VectorCluster
+
+
+def vm(vm_id, vcpus, mem, level=LEVEL_1_1):
+    return VMRequest(vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level)
+
+
+@pytest.fixture
+def cluster():
+    # One PM: 32 CPUs / 128 GB => target ratio 4.
+    return VectorCluster([MachineSpec("pm", 32, 128.0)], SlackVMConfig())
+
+
+def test_progress_score_by_hand(cluster):
+    cluster.deploy(vm("seed", 10, 20.0), host=0)  # alloc (10, 20), ratio 2
+    candidate = vm("x", 2, 28.0)
+    # Algorithm 2: target 4; current |2-4| = 2; next (48/12) = 4 -> |0|;
+    # progress = 2 - 0 = 2; positive => no factor; tiebreak -0*1e-9.
+    score = cluster.scores(candidate, "progress")[0]
+    assert score == pytest.approx(2.0)
+
+
+def test_negative_progress_factor_by_hand(cluster):
+    cluster.deploy(vm("seed", 10, 20.0), host=0)
+    candidate = vm("x", 4, 4.0)  # next = 24/14 ~ 1.714
+    current_delta = abs(20 / 10 - 4)
+    next_delta = abs(24 / 14 - 4)
+    raw = current_delta - next_delta
+    expected = raw * (1 + 10 / 32)
+    assert raw < 0
+    assert cluster.scores(candidate, "progress")[0] == pytest.approx(expected)
+    assert cluster.scores(candidate, "progress_no_factor")[0] == pytest.approx(raw)
+
+
+def test_empty_pm_progress_uses_vm_ratio(cluster):
+    balanced = vm("x", 4, 16.0)  # ratio 4 == target
+    skewed = vm("y", 4, 4.0)  # ratio 1
+    assert cluster.scores(balanced, "progress")[0] == pytest.approx(0.0)
+    # current = target (line 6) => progress = 0 - |1-4| = -3, times factor 1.
+    assert cluster.scores(skewed, "progress")[0] == pytest.approx(-3.0)
+
+
+def test_best_fit_score_by_hand(cluster):
+    candidate = vm("x", 8, 32.0)
+    # After placement: free cpu share (32-8)/32 = 0.75, mem (128-32)/128
+    # = 0.75 => free = 1.5; best-fit score = -1.5 (+ tiebreak 0).
+    assert cluster.scores(candidate, "best_fit")[0] == pytest.approx(-1.5)
+    assert cluster.scores(candidate, "worst_fit")[0] == pytest.approx(1.5)
+
+
+def test_oversubscribed_vm_counts_fractional_cpu(cluster):
+    candidate = vm("x", 8, 32.0, level=LEVEL_2_1)
+    # Physical cpu 8/2 = 4: free = (32-4)/32 + (128-32)/128 = 0.875+0.75.
+    assert cluster.scores(candidate, "best_fit")[0] == pytest.approx(-(0.875 + 0.75))
+
+
+def test_tiebreak_orders_hosts(cluster):
+    multi = VectorCluster(
+        [MachineSpec(f"pm-{i}", 32, 128.0) for i in range(3)], SlackVMConfig()
+    )
+    scores = multi.scores(vm("x", 4, 16.0), "progress")
+    # Identical states: only the -1e-9 * index tiebreak differs.
+    assert scores[0] > scores[1] > scores[2]
+    assert scores[0] - scores[2] == pytest.approx(2e-9)
+
+
+def test_growth_reflects_ceil_boundary(cluster):
+    cluster.deploy(vm("a", 3, 4.0, level=LEVEL_2_1), host=0)  # 2 CPUs, slack 1
+    one = vm("one", 1, 1.0, level=LEVEL_2_1)
+    _, growth, _ = cluster.feasibility(one)
+    assert growth[0] == 0.0  # fits in slack
+    two = vm("two", 2, 1.0, level=LEVEL_2_1)
+    _, growth, _ = cluster.feasibility(two)
+    assert growth[0] == 1.0  # ceil(5/2)=3 > 2

@@ -1,0 +1,108 @@
+"""Tests of minimal-cluster sizing."""
+
+import pytest
+
+from repro.core import LEVEL_1_1, LEVEL_3_1, SimulationError, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.simulator import demand_lower_bound, minimal_cluster
+
+MACHINE = MachineSpec("pm", 8, 32.0)
+
+
+def vm(vm_id, vcpus=2, mem=4.0, level=LEVEL_1_1, arrival=0.0, departure=None):
+    return VMRequest(
+        vm_id=vm_id, spec=VMSpec(vcpus, mem), level=level,
+        arrival=arrival, departure=departure,
+    )
+
+
+class TestLowerBound:
+    def test_cpu_bound(self):
+        trace = [vm(f"v{i}", vcpus=8, mem=1.0) for i in range(3)]
+        assert demand_lower_bound(trace, MACHINE) == 3
+
+    def test_memory_bound(self):
+        trace = [vm(f"v{i}", vcpus=1, mem=32.0) for i in range(3)]
+        assert demand_lower_bound(trace, MACHINE) == 3
+
+    def test_oversubscription_shrinks_cpu_demand(self):
+        trace = [vm(f"v{i}", vcpus=8, mem=1.0, level=LEVEL_3_1) for i in range(3)]
+        # 3 * 8/3 = 8 cores => one PM.
+        assert demand_lower_bound(trace, MACHINE) == 1
+
+    def test_temporal_overlap_matters(self):
+        overlap = [vm("a", vcpus=8, departure=10.0), vm("b", vcpus=8, arrival=5.0)]
+        disjoint = [vm("a", vcpus=8, departure=10.0), vm("b", vcpus=8, arrival=10.0)]
+        assert demand_lower_bound(overlap, MACHINE) == 2
+        assert demand_lower_bound(disjoint, MACHINE) == 1
+
+    def test_minimum_is_one(self):
+        assert demand_lower_bound([vm("a", vcpus=1, mem=1.0)], MACHINE) == 1
+
+
+class TestMinimalCluster:
+    def test_exact_fit(self):
+        trace = [vm(f"v{i}", vcpus=8, mem=8.0) for i in range(3)]
+        sized = minimal_cluster(trace, MACHINE, policy="first_fit",
+                                config=SlackVMConfig(levels=(LEVEL_1_1,)))
+        assert sized.pms == 3
+        assert sized.result.feasible
+
+    def test_fragmentation_needs_extra_pm(self):
+        # 3 VMs of 6 vCPUs cannot share PMs of 8 (6+6 > 8): one PM each.
+        trace = [vm(f"v{i}", vcpus=6, mem=4.0) for i in range(3)]
+        sized = minimal_cluster(trace, MACHINE, policy="first_fit",
+                                config=SlackVMConfig(levels=(LEVEL_1_1,)))
+        assert sized.lower_bound == 3  # 18/8 -> 3
+        assert sized.pms == 3
+
+    def test_fragmentation_above_lower_bound(self):
+        # Two 5-vCPU VMs per PM impossible (10 > 8): lb=2, need 3.
+        trace = [vm(f"v{i}", vcpus=5, mem=4.0) for i in range(3)]
+        sized = minimal_cluster(trace, MACHINE, policy="first_fit",
+                                config=SlackVMConfig(levels=(LEVEL_1_1,)))
+        assert sized.lower_bound == 2
+        assert sized.pms == 3
+
+    def test_departures_enable_reuse(self):
+        trace = [
+            vm("a", vcpus=8, mem=8.0, departure=10.0),
+            vm("b", vcpus=8, mem=8.0, arrival=10.0),
+        ]
+        sized = minimal_cluster(trace, MACHINE, policy="first_fit",
+                                config=SlackVMConfig(levels=(LEVEL_1_1,)))
+        assert sized.pms == 1
+
+    def test_impossible_vm_raises(self):
+        trace = [vm("giant", vcpus=64, mem=4.0)]
+        with pytest.raises(SimulationError):
+            minimal_cluster(trace, MACHINE, policy="first_fit",
+                            config=SlackVMConfig(levels=(LEVEL_1_1,)))
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(SimulationError):
+            minimal_cluster([], MACHINE)
+
+    def test_probes_are_recorded(self):
+        trace = [vm(f"v{i}", vcpus=5, mem=4.0) for i in range(3)]
+        sized = minimal_cluster(trace, MACHINE, policy="first_fit",
+                                config=SlackVMConfig(levels=(LEVEL_1_1,)))
+        assert any(not ok for _, ok in sized.probes)
+        assert any(ok for _, ok in sized.probes)
+
+    def test_custom_simulation_factory(self):
+        calls = []
+
+        def factory(machines):
+            from repro.simulator import VectorSimulation
+
+            calls.append(len(machines))
+            return VectorSimulation(
+                machines, config=SlackVMConfig(levels=(LEVEL_1_1,)),
+                policy="first_fit", fail_fast=True,
+            )
+
+        trace = [vm("a", vcpus=4, mem=4.0)]
+        sized = minimal_cluster(trace, MACHINE, simulation_factory=factory)
+        assert sized.pms == 1
+        assert calls  # the factory was actually used

@@ -1,0 +1,90 @@
+"""CLI tests (direct main() invocation; no subprocesses needed)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "azure" in out and "ovhcloud" in out
+    assert "Table II" in out and "3:1" in out
+
+
+def test_generate_and_size_roundtrip(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["generate", "--provider", "ovhcloud", "--mix", "F",
+                 "--population", "80", "--seed", "1", "-o", str(trace)]) == 0
+    assert trace.exists()
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+    assert main(["size", str(trace), "--policy", "first_fit"]) == 0
+    out = capsys.readouterr().out
+    assert "minimal cluster" in out
+    assert "lower bound" in out
+
+
+def test_generate_with_share_mix(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["generate", "--mix", "40,30,30", "--population", "50",
+                 "-o", str(trace)]) == 0
+
+
+def test_generate_invalid_mix(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["generate", "--mix", "nope", "-o", str(tmp_path / "x.jsonl")])
+
+
+def test_evaluate_command(capsys):
+    assert main(["evaluate", "--provider", "ovhcloud", "--mix", "F",
+                 "--population", "80", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "SlackVM shared cluster" in out
+    assert "savings" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--provider", "azure", "--population", "60",
+                 "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "Figure 4" in out
+
+
+def test_testbed_command(capsys):
+    assert main(["testbed", "--duration", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "Table IV" in out and "Figure 2" in out
+
+
+def test_custom_machine_spec(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    main(["generate", "--population", "40", "-o", str(trace)])
+    capsys.readouterr()
+    assert main(["size", str(trace), "--machine", "64:256"]) == 0
+    out = capsys.readouterr().out
+    assert "64 CPUs" in out
+
+
+def test_invalid_machine_spec_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["size", "x.jsonl", "--machine", "banana"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_repro_error_returns_exit_code(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"vm_id": "a"}\n')  # missing required fields
+    assert main(["size", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_evaluate_policy_option(capsys):
+    assert main(["evaluate", "--mix", "F", "--population", "80",
+                 "--seed", "1", "--policy", "progress_bestfit"]) == 0
+    assert "savings" in capsys.readouterr().out

@@ -1,0 +1,27 @@
+"""The README's quickstart snippet must stay runnable."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_a_python_quickstart():
+    blocks = _python_blocks(README.read_text(encoding="utf-8"))
+    assert blocks, "README lost its quickstart code block"
+
+
+def test_quickstart_block_executes():
+    block = _python_blocks(README.read_text(encoding="utf-8"))[0]
+    # Downscale the population so the doc test stays fast, keeping the
+    # code path identical.
+    block = block.replace('mix="F", seed=42', 'mix="F", seed=42, target_population=100')
+    namespace: dict = {}
+    exec(compile(block, "<README quickstart>", "exec"), namespace)  # noqa: S102
+    outcome = namespace["outcome"]
+    assert outcome.slackvm_pms >= 1
+    assert outcome.baseline_pms >= outcome.slackvm_pms

@@ -1,0 +1,126 @@
+"""Azure-trace-schema importer tests (synthetic CSVs in the public schema)."""
+
+import pytest
+
+from repro.core import WorkloadError
+from repro.workload.azure_trace import assign_levels, load_azure_trace
+
+
+def write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+SIZED = """vmId,core,memory,starttime,endtime
+1,2,4.0,0.0,1.5
+2,4,16.0,0.25,
+3,1,2.0,-0.5,0.75
+"""
+
+
+class TestSizedSchema:
+    def test_basic_parse(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, SIZED))
+        assert len(vms) == 3
+        assert vms[0].vm_id == "az-1"
+        assert vms[0].spec.vcpus == 2
+        assert vms[0].arrival == 0.0
+        assert vms[0].departure == pytest.approx(1.5 * 86_400)
+
+    def test_open_ended_vm(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, SIZED))
+        assert vms[1].departure is None
+
+    def test_negative_start_clamped(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, SIZED))
+        assert vms[2].arrival == 0.0
+        assert vms[2].departure == pytest.approx(0.75 * 86_400)
+
+    def test_max_rows(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, SIZED), max_rows=2)
+        assert len(vms) == 2
+
+    def test_levels_default_premium(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, SIZED))
+        assert all(vm.level.ratio == 1.0 for vm in vms)
+
+
+class TestTypedSchema:
+    TYPED = """vmId,vmTypeId,starttime,endtime
+a,small,0.0,1.0
+b,big,0.5,
+"""
+    TYPES = {"small": (1, 2.0), "big": (8, 32.0)}
+
+    def test_typed_parse(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, self.TYPED), vm_types=self.TYPES)
+        assert vms[0].spec.vcpus == 1
+        assert vms[1].spec.mem_gb == 32.0
+
+    def test_missing_type_mapping(self, tmp_path):
+        with pytest.raises(WorkloadError, match="vm_types"):
+            load_azure_trace(write(tmp_path, self.TYPED))
+
+    def test_unknown_type_id(self, tmp_path):
+        with pytest.raises(WorkloadError, match="unknown vmTypeId"):
+            load_azure_trace(write(tmp_path, self.TYPED),
+                             vm_types={"small": (1, 2.0)})
+
+
+class TestErrors:
+    def test_missing_vmid_column(self, tmp_path):
+        with pytest.raises(WorkloadError, match="vmId"):
+            load_azure_trace(write(tmp_path, "core,memory\n1,2\n"))
+
+    def test_invalid_time(self, tmp_path):
+        bad = "vmId,core,memory,starttime,endtime\n1,2,4.0,soon,\n"
+        with pytest.raises(WorkloadError, match="starttime"):
+            load_azure_trace(write(tmp_path, bad))
+
+    def test_zero_length_vms_skipped(self, tmp_path):
+        text = ("vmId,core,memory,starttime,endtime\n"
+                "1,2,4.0,1.0,1.0\n"
+                "2,2,4.0,0.0,2.0\n")
+        vms = load_azure_trace(write(tmp_path, text))
+        assert [v.vm_id for v in vms] == ["az-2"]
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_azure_trace(write(tmp_path, "vmId,core,memory,starttime\n"))
+
+
+class TestAssignLevels:
+    def test_mix_shares_respected(self, tmp_path):
+        rows = ["vmId,core,memory,starttime,endtime"]
+        rows += [f"{i},2,4.0,0.0," for i in range(500)]
+        vms = load_azure_trace(write(tmp_path, "\n".join(rows) + "\n"))
+        levelled = assign_levels(vms, (50, 25, 25), seed=1)
+        ratios = [vm.level.ratio for vm in levelled]
+        assert abs(sum(r == 1.0 for r in ratios) / 500 - 0.5) < 0.07
+
+    def test_large_memory_vms_stay_premium(self, tmp_path):
+        text = "vmId,core,memory,starttime,endtime\n1,8,64.0,0.0,\n"
+        vms = load_azure_trace(write(tmp_path, text))
+        for seed in range(10):
+            levelled = assign_levels(vms, "O", seed=seed)  # 100% 3:1 mix
+            assert levelled[0].level.ratio == 1.0
+
+    def test_deterministic_per_seed(self, tmp_path):
+        vms = load_azure_trace(write(tmp_path, SIZED))
+        a = assign_levels(vms, "E", seed=3)
+        b = assign_levels(vms, "E", seed=3)
+        assert [v.level.ratio for v in a] == [v.level.ratio for v in b]
+
+    def test_end_to_end_with_simulator(self, tmp_path):
+        from repro.hardware import SIM_WORKER
+        from repro.simulator import minimal_cluster
+
+        rows = ["vmId,core,memory,starttime,endtime"]
+        rows += [f"{i},2,4.0,{i * 0.001},{1 + i * 0.001}" for i in range(50)]
+        vms = assign_levels(
+            load_azure_trace(write(tmp_path, "\n".join(rows) + "\n")),
+            "F", seed=0,
+        )
+        sized = minimal_cluster(vms, SIM_WORKER, policy="progress")
+        assert sized.result.feasible

@@ -1,0 +1,116 @@
+"""Tests of the Markov-modulated usage model and trace profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkloadError
+from repro.workload.timeseries import (
+    AZURE_LIKE_USAGE,
+    MarkovUsageModel,
+    TraceProfile,
+    generate_usage_series,
+)
+
+
+class TestModel:
+    def test_stationary_mean(self):
+        model = MarkovUsageModel(levels=(0.0, 1.0), dwell=(100.0, 100.0))
+        assert model.stationary_mean() == pytest.approx(0.5)
+
+    def test_dwell_weighting(self):
+        model = MarkovUsageModel(levels=(0.0, 1.0), dwell=(300.0, 100.0))
+        assert model.stationary_mean() == pytest.approx(0.25)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(levels=(0.5,), dwell=(10.0,)),
+            dict(levels=(0.5, 1.5), dwell=(10.0, 10.0)),
+            dict(levels=(0.1, 0.2), dwell=(10.0,)),
+            dict(levels=(0.1, 0.2), dwell=(10.0, -1.0)),
+            dict(levels=(0.1, 0.2), dwell=(10.0, 10.0), jitter=0.9),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            MarkovUsageModel(**kwargs)
+
+
+class TestSeries:
+    def test_deterministic_per_seed(self):
+        a = generate_usage_series(AZURE_LIKE_USAGE, 3600, 10.0,
+                                  np.random.default_rng(4))
+        b = generate_usage_series(AZURE_LIKE_USAGE, 3600, 10.0,
+                                  np.random.default_rng(4))
+        assert np.array_equal(a, b)
+
+    def test_series_bounds(self):
+        s = generate_usage_series(AZURE_LIKE_USAGE, 7200, 5.0,
+                                  np.random.default_rng(0))
+        assert np.all((s >= 0.0) & (s <= 1.0))
+
+    def test_long_run_mean_matches_stationary(self):
+        model = MarkovUsageModel(levels=(0.1, 0.5), dwell=(200.0, 200.0),
+                                 jitter=0.0)
+        s = generate_usage_series(model, 400_000, 10.0, np.random.default_rng(1))
+        assert s.mean() == pytest.approx(model.stationary_mean(), abs=0.04)
+
+    def test_regimes_actually_alternate(self):
+        model = MarkovUsageModel(levels=(0.1, 0.9), dwell=(50.0, 50.0), jitter=0.0)
+        s = generate_usage_series(model, 5000, 10.0, np.random.default_rng(2))
+        assert (s < 0.2).any() and (s > 0.8).any()
+
+    def test_initial_state_respected(self):
+        model = MarkovUsageModel(levels=(0.1, 0.9), dwell=(1e6, 1e6), jitter=0.0)
+        s = generate_usage_series(model, 100, 10.0, np.random.default_rng(0),
+                                  initial_state=1)
+        assert np.all(s == pytest.approx(0.9))
+
+    def test_invalid_grid(self):
+        with pytest.raises(WorkloadError):
+            generate_usage_series(AZURE_LIKE_USAGE, 0, 1.0, np.random.default_rng(0))
+        with pytest.raises(WorkloadError):
+            generate_usage_series(AZURE_LIKE_USAGE, 10, 0.0, np.random.default_rng(0))
+        with pytest.raises(WorkloadError):
+            generate_usage_series(AZURE_LIKE_USAGE, 10, 1.0,
+                                  np.random.default_rng(0), initial_state=9)
+
+
+class TestTraceProfile:
+    def test_step_interpolation(self):
+        p = TraceProfile(series=(0.1, 0.5, 0.9), dt=10.0)
+        assert p.demand(0.0) == 0.1
+        assert p.demand(9.99) == 0.1
+        assert p.demand(10.0) == 0.5
+        assert p.demand(25.0) == 0.9
+
+    def test_clamping_outside_window(self):
+        p = TraceProfile(series=(0.2, 0.8), dt=5.0, start=100.0)
+        assert p.demand(0.0) == 0.2  # before the window
+        assert p.demand(1e9) == 0.8  # after the window
+
+    def test_from_model(self):
+        p = TraceProfile.from_model(AZURE_LIKE_USAGE, 600, 10.0,
+                                    np.random.default_rng(3))
+        assert len(p.series) == 60
+        assert 0.0 <= p.demand(300.0) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceProfile(series=(), dt=1.0)
+        with pytest.raises(WorkloadError):
+            TraceProfile(series=(0.5,), dt=0.0)
+        with pytest.raises(WorkloadError):
+            TraceProfile(series=(1.5,), dt=1.0)
+
+    def test_usable_in_contention_group(self):
+        from repro.core import LEVEL_2_1, VMRequest, VMSpec
+        from repro.perfmodel import ContentionGroup, CpuSetCapacity, GroupMember
+
+        rng = np.random.default_rng(7)
+        vm = VMRequest(vm_id="t", spec=VMSpec(2, 4.0), level=LEVEL_2_1)
+        member = GroupMember(vm=vm, profile=TraceProfile.from_model(
+            AZURE_LIKE_USAGE, 600, 10.0, rng))
+        group = ContentionGroup(CpuSetCapacity(threads=4, physical=4), [member])
+        tick = group.step(50.0)
+        assert 0.0 <= tick.total_demand <= 2.0
