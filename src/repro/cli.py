@@ -7,15 +7,23 @@ Exposes the library's main workflows without writing Python:
 * ``slackvm size`` — minimal-cluster sizing for a trace file;
 * ``slackvm evaluate`` — dedicated-vs-SlackVM comparison for one mix;
 * ``slackvm sweep`` — Figures 3 & 4 for a provider;
-* ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment.
+* ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment;
+* ``slackvm audit`` — differential replay of one workload through both
+  engines (object + vectorized), reporting the first divergence and
+  dumping decision records + metrics as JSON.
 
-Every subcommand is deterministic given ``--seed``.
+Every subcommand is deterministic given ``--seed``.  The same CLI is
+installed both as ``slackvm`` and as ``repro`` (and runs via
+``python -m repro``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis import (
@@ -31,7 +39,7 @@ from repro.analysis import (
 )
 from repro.core.errors import ReproError
 from repro.hardware import SIM_WORKER, MachineSpec
-from repro.simulator import demand_lower_bound, minimal_cluster
+from repro.simulator import POLICIES, demand_lower_bound, minimal_cluster
 from repro.workload import (
     DISTRIBUTIONS,
     PROVIDERS,
@@ -101,6 +109,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the Table IV / Fig. 2 isolation experiment")
     tb.add_argument("--duration", type=float, default=1800.0)
     tb.add_argument("--seed", type=int, default=2024)
+
+    au = sub.add_parser(
+        "audit",
+        help="replay one workload through both engines and diff their "
+             "placement decisions event-by-event",
+    )
+    au.add_argument("--policy", choices=POLICIES, default="progress")
+    au.add_argument("--provider", choices=sorted(PROVIDERS), default="ovhcloud")
+    au.add_argument("--mix", default="F")
+    au.add_argument("--vms", type=int, default=500,
+                    help="target concurrent VMs of the generated workload")
+    au.add_argument("--seed", type=int, default=7)
+    au.add_argument("--pms", type=int, default=0,
+                    help="cluster size; 0 sizes it from the demand lower "
+                         "bound with 15%% headroom")
+    au.add_argument("--machine", type=_machine, default=SIM_WORKER,
+                    help="worker spec as CPUS:MEM_GB (default 32:128)")
+    au.add_argument("-o", "--output", default="slackvm_audit.json",
+                    help="JSON dump path (metrics + decision records)")
+    au.add_argument("--no-decisions", action="store_true",
+                    help="omit the per-arrival decision records from the dump")
     return parser
 
 
@@ -196,6 +225,40 @@ def _cmd_testbed(args) -> None:
     }))
 
 
+def _cmd_audit(args) -> int:
+    from repro.obs.audit import audit_workload
+
+    params = WorkloadParams(
+        catalog=PROVIDERS[args.provider],
+        level_mix=_parse_mix(args.mix),
+        target_population=args.vms,
+        seed=args.seed,
+    )
+    workload = generate_workload(params)
+    lb = demand_lower_bound(workload, args.machine)
+    pms = args.pms if args.pms > 0 else max(1, math.ceil(lb * 1.15))
+    machines = [
+        MachineSpec(
+            name=f"{args.machine.name}-{i}",
+            cpus=args.machine.cpus,
+            mem_gb=args.machine.mem_gb,
+            topology_factory=args.machine.topology_factory,
+        )
+        for i in range(pms)
+    ]
+    print(f"replaying {len(workload)} VM lifecycles "
+          f"(peak population {peak_population(workload)}) on {pms} PMs "
+          f"(lower bound {lb})")
+    report = audit_workload(workload, machines, policy=args.policy)
+    print(report.summary())
+    payload = report.to_dict(include_decisions=not args.no_decisions)
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    print(f"wrote metrics/decision dump to {args.output}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "generate": _cmd_generate,
@@ -203,17 +266,18 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "testbed": _cmd_testbed,
+    "audit": _cmd_audit,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        _COMMANDS[args.command](args)
-    except ReproError as exc:
+        rc = _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
+    return rc or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from repro.hardware.topology import Topology
 from repro.localsched.allocator import CoreAllocator
 from repro.localsched.drivers import HypervisorDriver, NullDriver
 from repro.localsched.vnode import VNode
+from repro.obs.records import AdmissionRecord, DecisionRecorder
 
 __all__ = ["DeployPlan", "Placement", "LocalScheduler"]
 
@@ -101,12 +102,16 @@ class LocalScheduler:
         config: SlackVMConfig | None = None,
         topology: Optional[Topology] = None,
         driver: Optional[HypervisorDriver] = None,
+        recorder: Optional[DecisionRecorder] = None,
     ):
         self.machine = machine
         self.config = config or SlackVMConfig()
         self.topology = topology
         #: Hypervisor boundary (§IV): receives create/destroy/repin ops.
         self.driver = driver or NullDriver()
+        #: Observability sink (repro.obs): receives one admission record
+        #: per deploy when set and enabled.
+        self.recorder = recorder
         if topology is not None:
             if topology.num_cpus != machine.cpus:
                 raise ConfigError(
@@ -263,6 +268,16 @@ class LocalScheduler:
         self._vm_home[vm.vm_id] = node.level.ratio
         self._mem_used += node.level.physical_mem_for(vm.spec.mem_gb)
         self.driver.create_vm(vm, node.cpu_ids)
+        if self.recorder is not None and self.recorder.enabled:
+            self.recorder.record_admission(
+                AdmissionRecord(
+                    vm_id=vm.vm_id,
+                    host=self.machine.name,
+                    hosted_ratio=node.level.ratio,
+                    growth=len(new_cpus),
+                    pooled=plan.pooled,
+                )
+            )
         return Placement(
             vm_id=vm.vm_id,
             hosted_level=node.level,

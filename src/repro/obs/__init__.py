@@ -1,0 +1,77 @@
+"""Observability layer: metrics, decision records, differential audit.
+
+Production schedulers are only debuggable through their telemetry
+(per-decision traces + fleet metrics); this package provides both for
+the repro's two engines, plus the differential audit tool that turns
+the engine-equivalence guarantee into a divergence *localizer*.
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms/timers behind a
+  registry with a zero-cost no-op mode and JSON/CSV export;
+* :mod:`repro.obs.records` — structured per-placement decision records
+  and the recorder protocol both engines emit through;
+* :mod:`repro.obs.audit` — replay one workload through both engines and
+  report the first divergence with full candidate/score context.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+)
+from repro.obs.records import (
+    ADMISSION_GROWTH,
+    ADMISSION_POOLED,
+    ADMISSION_REJECTED,
+    NULL_RECORDER,
+    AdmissionRecord,
+    DecisionRecord,
+    DecisionRecorder,
+    HostDecision,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "ADMISSION_GROWTH",
+    "ADMISSION_POOLED",
+    "ADMISSION_REJECTED",
+    "HostDecision",
+    "DecisionRecord",
+    "AdmissionRecord",
+    "DecisionRecorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+    "AuditReport",
+    "Divergence",
+    "audit_workload",
+    "diff_decision_streams",
+]
+
+# The audit tool sits *above* the engines (it runs them), while the
+# records/metrics modules sit below (the engines import them).  Loading
+# repro.obs.audit eagerly here would therefore close an import cycle
+# (engines -> repro.obs.records -> this package -> audit -> engines),
+# so its names are resolved lazily on first attribute access.
+_AUDIT_EXPORTS = {"AuditReport", "Divergence", "audit_workload", "diff_decision_streams"}
+
+
+def __getattr__(name: str):
+    if name in _AUDIT_EXPORTS:
+        from repro.obs import audit as _audit
+
+        return getattr(_audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,209 @@
+"""Structured per-placement decision records and the recorder protocol.
+
+Every arrival handled by a scheduler produces one
+:class:`DecisionRecord`: the filter verdicts for each host, the
+per-weigher scores of the surviving candidates, the chosen host, and
+the admission plan the local scheduler executed (own-level growth,
+§V-B pooling, or rejection).  Both engines — the object path
+(:class:`~repro.simulator.engine.Simulation` +
+:class:`~repro.scheduling.global_scheduler.ScoreBasedScheduler` +
+:class:`~repro.localsched.agent.LocalScheduler`) and the vectorized
+path (:class:`~repro.simulator.vectorpool.VectorSimulation`) — emit the
+same record shape through the same recorder protocol, which is what
+makes the differential audit in :mod:`repro.obs.audit` possible.
+
+Recorders are deliberately dumb sinks.  The engines guard every
+record-construction block with ``recorder.enabled``, so the default
+:data:`NULL_RECORDER` costs one attribute check per event.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional
+
+__all__ = [
+    "ADMISSION_GROWTH",
+    "ADMISSION_POOLED",
+    "ADMISSION_REJECTED",
+    "HostDecision",
+    "DecisionRecord",
+    "AdmissionRecord",
+    "DecisionRecorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+]
+
+#: Admission plan kinds (the three outcomes of §V admission).
+ADMISSION_GROWTH = "growth"  # own-level vNode placement (growth may be 0)
+ADMISSION_POOLED = "pooled"  # §V-B slack pooling upgrade
+ADMISSION_REJECTED = "rejected"  # no host passed the filters
+
+
+@dataclass(frozen=True, slots=True)
+class HostDecision:
+    """One host's view of one placement decision.
+
+    ``filters`` maps filter name to verdict; a host is a candidate iff
+    every verdict is True.  ``weigher_scores`` maps weigher name to its
+    *weighted* contribution and is only populated for candidates
+    (non-candidates are never scored); ``score`` is their sum.
+    """
+
+    host: int
+    eligible: bool
+    filters: dict[str, bool]
+    weigher_scores: dict[str, float] = field(default_factory=dict)
+    score: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "host": self.host,
+            "eligible": self.eligible,
+            "filters": dict(self.filters),
+            "weigher_scores": dict(self.weigher_scores),
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """One global placement decision (one workload arrival)."""
+
+    seq: int  # 0-based arrival index within the run
+    time: float  # simulation timestamp of the arrival
+    vm_id: str
+    scheduler: str  # scheduler/policy name
+    hosts: tuple[HostDecision, ...]
+    chosen: Optional[int]  # host index, None on rejection
+    admission: str  # one of the ADMISSION_* kinds
+    hosted_ratio: Optional[float] = None  # level that actually hosts the VM
+    growth: Optional[int] = None  # CPUs the vNode acquired (own-level path)
+
+    @property
+    def candidates(self) -> tuple[int, ...]:
+        return tuple(h.host for h in self.hosts if h.eligible)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "vm_id": self.vm_id,
+            "scheduler": self.scheduler,
+            "hosts": [h.to_dict() for h in self.hosts],
+            "chosen": self.chosen,
+            "admission": self.admission,
+            "hosted_ratio": self.hosted_ratio,
+            "growth": self.growth,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionRecord:
+    """One local-scheduler admission (the PM-side half of a decision).
+
+    Emitted by :class:`~repro.localsched.agent.LocalScheduler` (and its
+    vectorized mirror) at deploy time — the ground truth of what the PM
+    actually executed, independent of what the global scheduler
+    intended.
+    """
+
+    vm_id: str
+    host: str  # machine name (the local agent does not know its rank)
+    hosted_ratio: float
+    growth: int
+    pooled: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "vm_id": self.vm_id,
+            "host": self.host,
+            "hosted_ratio": self.hosted_ratio,
+            "growth": self.growth,
+            "pooled": self.pooled,
+        }
+
+
+class DecisionRecorder:
+    """Base recorder: the shared protocol both engines emit through.
+
+    Subclasses override the ``record_*`` hooks; the base class ignores
+    everything, so a recorder interested only in global decisions can
+    override just :meth:`record_decision`.
+    """
+
+    #: Engines skip record construction entirely when this is False.
+    enabled: bool = True
+
+    def record_decision(self, record: DecisionRecord) -> None:  # pragma: no cover
+        pass
+
+    def record_admission(self, record: AdmissionRecord) -> None:  # pragma: no cover
+        pass
+
+
+class NullRecorder(DecisionRecorder):
+    """The zero-cost default: nothing is ever constructed or stored."""
+
+    enabled = False
+
+
+class MemoryRecorder(DecisionRecorder):
+    """Keeps every record in memory — the audit tool's workhorse."""
+
+    def __init__(self) -> None:
+        self.decisions: list[DecisionRecord] = []
+        self.admissions: list[AdmissionRecord] = []
+
+    def record_decision(self, record: DecisionRecord) -> None:
+        self.decisions.append(record)
+
+    def record_admission(self, record: AdmissionRecord) -> None:
+        self.admissions.append(record)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+
+class JsonlRecorder(DecisionRecorder):
+    """Streams records to a JSON-Lines sink (one object per line).
+
+    Each line carries a ``"record"`` discriminator (``"decision"`` or
+    ``"admission"``) so mixed streams stay parseable.
+    """
+
+    def __init__(self, sink: str | Path | IO[str]):
+        if hasattr(sink, "write"):
+            self._fh: IO[str] = sink  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._fh = open(sink, "w", encoding="utf-8")
+            self._owned = True
+
+    def _emit(self, kind: str, payload: dict) -> None:
+        payload = {"record": kind, **payload}
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def record_decision(self, record: DecisionRecord) -> None:
+        self._emit("decision", record.to_dict())
+
+    def record_admission(self, record: AdmissionRecord) -> None:
+        self._emit("admission", record.to_dict())
+
+    def close(self) -> None:
+        if self._owned:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Shared default recorder; engines use it when none is supplied.
+NULL_RECORDER = NullRecorder()

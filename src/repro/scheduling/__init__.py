@@ -4,10 +4,12 @@ score-based selection, packing baselines and vClusters."""
 from repro.scheduling.baselines import (
     best_fit_scheduler,
     first_fit_scheduler,
+    scheduler_for_policy,
     slackvm_combined_scheduler,
     slackvm_scheduler,
     worst_fit_scheduler,
 )
+from repro.scheduling.constants import BESTFIT_BLEND, TIEBREAK_WEIGHT
 from repro.scheduling.filters import (
     AntiAffinityFilter,
     CapacityFilter,
@@ -61,6 +63,9 @@ __all__ = [
     "worst_fit_scheduler",
     "slackvm_scheduler",
     "slackvm_combined_scheduler",
+    "scheduler_for_policy",
+    "TIEBREAK_WEIGHT",
+    "BESTFIT_BLEND",
     "VCluster",
     "VClusterStats",
 ]

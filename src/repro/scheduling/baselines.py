@@ -10,6 +10,8 @@
 
 from __future__ import annotations
 
+from repro.core.errors import ConfigError
+from repro.scheduling.constants import BESTFIT_BLEND, TIEBREAK_WEIGHT
 from repro.scheduling.global_scheduler import ScoreBasedScheduler
 from repro.scheduling.weighers import (
     BestFitWeigher,
@@ -24,12 +26,11 @@ __all__ = [
     "worst_fit_scheduler",
     "slackvm_scheduler",
     "slackvm_combined_scheduler",
+    "scheduler_for_policy",
 ]
 
-#: Weight of the first-fit tiebreak relative to the primary metric.  The
-#: primary scores are O(1); host ranks are O(cluster size), so the
-#: tiebreak must be scaled far below any meaningful score difference.
-_TIEBREAK = 1e-9
+# Shared with the vector engine via repro.scheduling.constants.
+_TIEBREAK = TIEBREAK_WEIGHT
 
 
 def first_fit_scheduler() -> ScoreBasedScheduler:
@@ -66,9 +67,7 @@ def slackvm_scheduler(negative_factor: bool = True) -> ScoreBasedScheduler:
     )
 
 
-#: Weight of the best-fit term in the combined scheduler — must match
-#: repro.simulator.vectorpool._BESTFIT_BLEND.
-_BESTFIT_BLEND = 0.2
+_BESTFIT_BLEND = BESTFIT_BLEND
 
 
 def slackvm_combined_scheduler() -> ScoreBasedScheduler:
@@ -83,3 +82,30 @@ def slackvm_combined_scheduler() -> ScoreBasedScheduler:
         ),
         name="slackvm-progress+bestfit",
     )
+
+
+#: Policy-name → scheduler factory, mirroring the string policies the
+#: vector engine accepts (repro.simulator.vectorpool.POLICIES).
+_POLICY_FACTORIES = {
+    "first_fit": first_fit_scheduler,
+    "best_fit": best_fit_scheduler,
+    "worst_fit": worst_fit_scheduler,
+    "progress": slackvm_scheduler,
+    "progress_no_factor": lambda: slackvm_scheduler(negative_factor=False),
+    "progress_bestfit": slackvm_combined_scheduler,
+}
+
+
+def scheduler_for_policy(policy: str) -> ScoreBasedScheduler:
+    """Object-path scheduler equivalent to a vector-engine policy name.
+
+    The differential audit (and the equivalence tests) rely on this
+    mapping to run the *same* policy through both engines.
+    """
+    try:
+        factory = _POLICY_FACTORIES[policy]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {policy!r}; expected one of {sorted(_POLICY_FACTORIES)}"
+        ) from None
+    return factory()

@@ -11,14 +11,26 @@ the at-scale benches, and the test suite asserts their equivalence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import SlackVMConfig
+from repro.core.errors import SimulationError
 from repro.core.types import VMRequest
 from repro.hardware.machine import MachineSpec
 from repro.localsched.agent import LocalScheduler
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.records import (
+    ADMISSION_GROWTH,
+    ADMISSION_POOLED,
+    ADMISSION_REJECTED,
+    DecisionRecord,
+    DecisionRecorder,
+    HostDecision,
+    NULL_RECORDER,
+)
 from repro.scheduling.global_scheduler import ScoreBasedScheduler
 from repro.simulator.events import EventKind, workload_events
 
@@ -70,13 +82,30 @@ class SimulationResult:
         return not self.rejections
 
     def peak_index(self) -> int:
-        """Timeline index of the heaviest combined allocation."""
+        """Timeline index of the heaviest combined allocation.
+
+        Raises :class:`~repro.core.errors.SimulationError` when the
+        timeline is empty (empty workload, or a ``fail_fast`` run whose
+        very first arrival was rejected) — there is no peak instant to
+        index.  The share accessors below stay total: an empty timeline
+        simply means nothing was ever allocated.
+        """
+        if not self.timeline.times:
+            raise SimulationError(
+                "timeline is empty (no events were simulated); "
+                "peak_index() is undefined"
+            )
         _, cpu, mem = self.timeline.as_arrays()
         weight = cpu / self.capacity_cpu + mem / self.capacity_mem
         return int(np.argmax(weight))
 
     def unallocated_at_peak(self) -> tuple[float, float]:
-        """(cpu share, mem share) left unallocated at the peak instant."""
+        """(cpu share, mem share) left unallocated at the peak instant.
+
+        An empty timeline has everything unallocated: ``(1.0, 1.0)``.
+        """
+        if not self.timeline.times:
+            return (1.0, 1.0)
         i = self.peak_index()
         _, cpu, mem = self.timeline.as_arrays()
         return (
@@ -85,6 +114,9 @@ class SimulationResult:
         )
 
     def peak_allocation(self) -> tuple[float, float]:
+        """(cpu, mem) allocated at the peak instant; zero on an empty timeline."""
+        if not self.timeline.times:
+            return (0.0, 0.0)
         i = self.peak_index()
         _, cpu, mem = self.timeline.as_arrays()
         return float(cpu[i]), float(mem[i])
@@ -97,7 +129,12 @@ def build_hosts(
     cfg = config or SlackVMConfig()
     return [
         LocalScheduler(
-            MachineSpec(name=f"{machine.name}-{i}", cpus=machine.cpus, mem_gb=machine.mem_gb),
+            MachineSpec(
+                name=f"{machine.name}-{i}",
+                cpus=machine.cpus,
+                mem_gb=machine.mem_gb,
+                topology_factory=machine.topology_factory,
+            ),
             cfg,
         )
         for i in range(count)
@@ -105,17 +142,35 @@ def build_hosts(
 
 
 class Simulation:
-    """Drive a workload trace through a cluster + global scheduler."""
+    """Drive a workload trace through a cluster + global scheduler.
+
+    ``recorder``/``metrics`` plug the :mod:`repro.obs` layer in: when an
+    enabled recorder is supplied, every arrival emits one
+    :class:`~repro.obs.records.DecisionRecord` (full filter/score
+    table via :meth:`ScoreBasedScheduler.decide`) and every deploy one
+    admission record; the defaults are no-ops costing one flag check
+    per event, keeping the uninstrumented path unchanged.
+    """
 
     def __init__(
         self,
         hosts: Sequence[LocalScheduler],
         scheduler: ScoreBasedScheduler,
         fail_fast: bool = False,
+        recorder: DecisionRecorder = NULL_RECORDER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.hosts = list(hosts)
         self.scheduler = scheduler
         self.fail_fast = fail_fast
+        self.recorder = recorder
+        self.metrics = metrics
+        if recorder.enabled:
+            # Local agents emit their own admission records; wire any
+            # un-instrumented host to the simulation's sink.
+            for host in self.hosts:
+                if host.recorder is None:
+                    host.recorder = recorder
 
     def run(self, workload: list[VMRequest]) -> SimulationResult:
         queue = workload_events(workload)
@@ -126,12 +181,28 @@ class Simulation:
         cap_cpu = float(sum(h.machine.cpus for h in self.hosts))
         cap_mem = float(sum(h.machine.mem_gb for h in self.hosts))
         alive: set[str] = set()
+        recording = self.recorder.enabled
+        measuring = self.metrics.enabled
+        arrival_seq = 0
         for event in queue.drain():
             vm = event.vm
             if event.kind is EventKind.ARRIVAL:
-                idx: Optional[int] = self.scheduler.select(self.hosts, vm)
+                decisions: tuple[HostDecision, ...] = ()
+                t0 = perf_counter() if measuring else 0.0
+                if recording:
+                    idx, decisions = self.scheduler.decide(self.hosts, vm)
+                else:
+                    idx = self.scheduler.select(self.hosts, vm)
+                if measuring:
+                    self.metrics.timer("select_s").observe(perf_counter() - t0)
+                    self.metrics.counter("arrivals").inc()
                 if idx is None:
                     rejections.append(vm.vm_id)
+                    if measuring:
+                        self.metrics.counter("rejections").inc()
+                    if recording:
+                        self._record(event, arrival_seq, decisions, None, None)
+                    arrival_seq += 1
                     if self.fail_fast:
                         break
                 else:
@@ -141,14 +212,30 @@ class Simulation:
                         vm.vm_id, idx, placement.hosted_level.ratio, placement.pooled
                     )
                     alive.add(vm.vm_id)
+                    if measuring:
+                        self.metrics.counter("placements").inc()
+                        if placement.pooled:
+                            self.metrics.counter("pooled").inc()
+                    if recording:
+                        self._record(event, arrival_seq, decisions, idx, placement)
+                    arrival_seq += 1
             else:
                 if vm.vm_id in alive:
                     self.hosts[placements[vm.vm_id].host].remove(vm.vm_id)
                     alive.discard(vm.vm_id)
+                    if measuring:
+                        self.metrics.counter("departures").inc()
             timeline.record(
                 event.time,
                 float(sum(h.allocated_cpus for h in self.hosts)),
                 float(sum(h.allocated_mem for h in self.hosts)),
+            )
+        if measuring:
+            self.metrics.gauge("final_alloc_cpu").set(
+                float(sum(h.allocated_cpus for h in self.hosts))
+            )
+            self.metrics.gauge("final_alloc_mem").set(
+                float(sum(h.allocated_mem for h in self.hosts))
             )
         return SimulationResult(
             num_hosts=len(self.hosts),
@@ -158,4 +245,32 @@ class Simulation:
             rejections=rejections,
             timeline=timeline,
             pooled_placements=pooled,
+        )
+
+    def _record(self, event, seq, decisions, chosen, placement) -> None:
+        """Emit one DecisionRecord for an arrival (instrumented path only)."""
+        if placement is None:
+            admission = ADMISSION_REJECTED
+            hosted_ratio = None
+            growth = None
+        else:
+            admission = ADMISSION_POOLED if placement.pooled else ADMISSION_GROWTH
+            hosted_ratio = placement.hosted_level.ratio
+            growth = len(placement.new_cpus)
+        if self.metrics.enabled:
+            self.metrics.histogram("candidates").observe(
+                sum(d.eligible for d in decisions)
+            )
+        self.recorder.record_decision(
+            DecisionRecord(
+                seq=seq,
+                time=event.time,
+                vm_id=event.vm.vm_id,
+                scheduler=self.scheduler.name,
+                hosts=decisions,
+                chosen=chosen,
+                admission=admission,
+                hosted_ratio=hosted_ratio,
+                growth=growth,
+            )
         )

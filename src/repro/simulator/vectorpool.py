@@ -17,7 +17,8 @@ simulations through this engine.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from time import perf_counter
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +26,18 @@ from repro.core.config import SlackVMConfig
 from repro.core.errors import CapacityError, ConfigError
 from repro.core.types import VMRequest
 from repro.hardware.machine import MachineSpec
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.records import (
+    ADMISSION_GROWTH,
+    ADMISSION_POOLED,
+    ADMISSION_REJECTED,
+    AdmissionRecord,
+    DecisionRecord,
+    DecisionRecorder,
+    HostDecision,
+    NULL_RECORDER,
+)
+from repro.scheduling.constants import BESTFIT_BLEND, TIEBREAK_WEIGHT
 from repro.simulator.engine import PlacementRecord, SimulationResult, Timeline
 from repro.simulator.events import EventKind, workload_events
 
@@ -41,11 +54,14 @@ POLICIES = (
     "progress_bestfit",
 )
 
-_TIEBREAK = 1e-9  # must match repro.scheduling.baselines._TIEBREAK
-#: Weight of the best-fit packing term in the combined policy; small
-#: large enough to participate in packing, small enough that strong
-#: progress differences still dominate.
-_BESTFIT_BLEND = 0.2
+# Shared with the object-path schedulers via repro.scheduling.constants,
+# so the two engines cannot drift apart silently.
+_TIEBREAK = TIEBREAK_WEIGHT
+_BESTFIT_BLEND = BESTFIT_BLEND
+
+#: Relative tolerance for resolving a computed level ratio to a
+#: configured level (e.g. ``2.9999999999`` → the 3:1 level).
+_LEVEL_RTOL = 1e-9
 
 
 class VectorCluster:
@@ -56,14 +72,19 @@ class VectorCluster:
         machines: Sequence[MachineSpec],
         config: SlackVMConfig,
         host_levels: Sequence[Sequence[float]] | None = None,
+        recorder: Optional[DecisionRecorder] = None,
     ):
         """``host_levels`` optionally restricts each host to a subset of
         the configured level ratios (dedicated PMs in a mixed fleet);
-        ``None`` means every host offers every configured level."""
+        ``None`` means every host offers every configured level.
+        ``recorder`` mirrors :class:`LocalScheduler`'s admission sink:
+        when set and enabled, every deploy emits an
+        :class:`~repro.obs.records.AdmissionRecord`."""
         if not machines:
             raise ConfigError("a cluster needs at least one machine")
         self.config = config
         self.machines = list(machines)
+        self.recorder = recorder
         n = len(machines)
         self.cap_cpu = np.array([m.cpus for m in machines], dtype=float)
         self.cap_mem = np.array([m.mem_gb for m in machines], dtype=float)
@@ -75,7 +96,6 @@ class VectorCluster:
         self.vnode_cpus = np.zeros((L, n), dtype=float)
         self.vnode_vcpus = np.zeros((L, n), dtype=float)
         self._level_index = {lv.ratio: i for i, lv in enumerate(config.levels)}
-        L = len(self.ratios)
         if host_levels is None:
             self.supported = np.ones((L, n), dtype=bool)
         else:
@@ -99,10 +119,23 @@ class VectorCluster:
         return len(self.machines)
 
     def level_index(self, ratio: float) -> int:
+        """Index of the configured level with this ratio.
+
+        Exact matches hit a dict; anything else is resolved within a
+        relative tolerance, so computed ratios that picked up float
+        noise (``9.0 / 3.0``-style ``2.9999999999``) still find their
+        level instead of raising :class:`ConfigError`.
+        """
         try:
             return self._level_index[ratio]
         except KeyError:
-            raise ConfigError(f"level {ratio}:1 is not configured") from None
+            pass
+        close = np.flatnonzero(
+            np.isclose(self.ratios, ratio, rtol=_LEVEL_RTOL, atol=_LEVEL_RTOL)
+        )
+        if close.size:
+            return int(close[0])
+        raise ConfigError(f"level {ratio}:1 is not configured")
 
     def _vm_level_index(self, vm: VMRequest) -> int:
         """Level index of a VM, validating the memory ratio too."""
@@ -183,6 +216,16 @@ class VectorCluster:
             self.alloc_mem[host] += own_mem
             self._placements[vm.vm_id] = (host, li, v, m)
             self._requests[vm.vm_id] = vm
+            if self.recorder is not None and self.recorder.enabled:
+                self.recorder.record_admission(
+                    AdmissionRecord(
+                        vm_id=vm.vm_id,
+                        host=self.machines[host].name,
+                        hosted_ratio=vm.level.ratio,
+                        growth=int(growth),
+                        pooled=False,
+                    )
+                )
             return PlacementRecord(vm.vm_id, host, vm.level.ratio, pooled=False)
         if self.config.pooling and vm.level.ratio > 1:
             # Loosest stricter oversubscribed vNode with enough slack
@@ -205,6 +248,16 @@ class VectorCluster:
                 self.alloc_mem[host] += m / self.mem_ratios[best]
                 self._placements[vm.vm_id] = (host, best, v, m)
                 self._requests[vm.vm_id] = vm
+                if self.recorder is not None and self.recorder.enabled:
+                    self.recorder.record_admission(
+                        AdmissionRecord(
+                            vm_id=vm.vm_id,
+                            host=self.machines[host].name,
+                            hosted_ratio=float(self.ratios[best]),
+                            growth=0,
+                            pooled=True,
+                        )
+                    )
                 return PlacementRecord(
                     vm.vm_id, host, float(self.ratios[best]), pooled=True
                 )
@@ -309,6 +362,8 @@ class VectorSimulation:
         policy: str = "progress",
         fail_fast: bool = False,
         host_levels: Sequence[Sequence[float]] | None = None,
+        recorder: DecisionRecorder = NULL_RECORDER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         if policy not in POLICIES:
             raise ConfigError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -317,40 +372,81 @@ class VectorSimulation:
         self.policy = policy
         self.fail_fast = fail_fast
         self.host_levels = host_levels
+        self.recorder = recorder
+        self.metrics = metrics
 
     def run(self, workload: list[VMRequest]) -> SimulationResult:
-        cluster = VectorCluster(self.machines, self.config, self.host_levels)
+        recording = self.recorder.enabled
+        measuring = self.metrics.enabled
+        cluster = VectorCluster(
+            self.machines,
+            self.config,
+            self.host_levels,
+            recorder=self.recorder if recording else None,
+        )
         queue = workload_events(workload)
         placements: dict[str, PlacementRecord] = {}
         rejections: list[str] = []
         timeline = Timeline()
         pooled = 0
         alive: set[str] = set()
+        arrival_seq = 0
         for event in queue.drain():
             vm = event.vm
             if event.kind is EventKind.ARRIVAL:
-                feasible, _growth, _own = cluster.feasibility(vm)
-                if not feasible.any():
+                t0 = perf_counter() if measuring else 0.0
+                feasible, growth, _own = cluster.feasibility(vm)
+                any_feasible = bool(feasible.any())
+                scores = None
+                if any_feasible or recording:
+                    scores = cluster.scores(vm, self.policy)
+                    scores = np.where(feasible, scores, -np.inf)
+                if measuring:
+                    self.metrics.timer("select_s").observe(perf_counter() - t0)
+                    self.metrics.counter("arrivals").inc()
+                if not any_feasible:
                     rejections.append(vm.vm_id)
+                    if measuring:
+                        self.metrics.counter("rejections").inc()
+                    if recording:
+                        self._record(
+                            event, arrival_seq, cluster, feasible, scores,
+                            vm, None, None, None,
+                        )
+                    arrival_seq += 1
                     if self.fail_fast:
                         break
                 else:
-                    scores = cluster.scores(vm, self.policy)
-                    scores = np.where(feasible, scores, -np.inf)
                     host = int(np.argmax(scores))  # first max == lowest index
                     record = cluster.deploy(vm, host)
                     pooled += record.pooled
                     placements[vm.vm_id] = record
                     alive.add(vm.vm_id)
+                    if measuring:
+                        self.metrics.counter("placements").inc()
+                        if record.pooled:
+                            self.metrics.counter("pooled").inc()
+                    if recording:
+                        own_growth = 0 if record.pooled else int(growth[host])
+                        self._record(
+                            event, arrival_seq, cluster, feasible, scores,
+                            vm, host, record, own_growth,
+                        )
+                    arrival_seq += 1
             else:
                 if vm.vm_id in alive:
                     cluster.remove(vm.vm_id)
                     alive.discard(vm.vm_id)
+                    if measuring:
+                        self.metrics.counter("departures").inc()
             timeline.record(
                 event.time,
                 float(cluster.alloc_cpu.sum()),
                 float(cluster.alloc_mem.sum()),
             )
+        if measuring:
+            self.metrics.gauge("final_alloc_cpu").set(float(cluster.alloc_cpu.sum()))
+            self.metrics.gauge("final_alloc_mem").set(float(cluster.alloc_mem.sum()))
         return SimulationResult(
             num_hosts=cluster.num_hosts,
             capacity_cpu=float(cluster.cap_cpu.sum()),
@@ -359,4 +455,51 @@ class VectorSimulation:
             rejections=rejections,
             timeline=timeline,
             pooled_placements=pooled,
+        )
+
+    def _record(
+        self, event, seq, cluster, feasible, scores, vm, host, placement, growth
+    ) -> None:
+        """Emit one DecisionRecord for an arrival (instrumented path only).
+
+        Filter names mirror the object path's
+        ``LevelSupportFilter``/``CapacityFilter`` verdicts so the two
+        decision streams diff field-by-field in the audit tool.
+        """
+        li = cluster.level_index(vm.level.ratio)
+        decisions = []
+        for j in range(cluster.num_hosts):
+            supported = bool(cluster.supported[li, j])
+            eligible = bool(feasible[j])
+            verdicts = {
+                "LevelSupportFilter": supported,
+                "CapacityFilter": eligible,
+            }
+            if eligible:
+                score = float(scores[j])
+                decisions.append(
+                    HostDecision(j, True, verdicts, {"policy": score}, score)
+                )
+            else:
+                decisions.append(HostDecision(j, False, verdicts))
+        if placement is None:
+            admission, hosted_ratio = ADMISSION_REJECTED, None
+        elif placement.pooled:
+            admission, hosted_ratio = ADMISSION_POOLED, placement.hosted_ratio
+        else:
+            admission, hosted_ratio = ADMISSION_GROWTH, placement.hosted_ratio
+        if self.metrics.enabled:
+            self.metrics.histogram("candidates").observe(int(feasible.sum()))
+        self.recorder.record_decision(
+            DecisionRecord(
+                seq=seq,
+                time=event.time,
+                vm_id=vm.vm_id,
+                scheduler=f"vector:{self.policy}",
+                hosts=tuple(decisions),
+                chosen=host,
+                admission=admission,
+                hosted_ratio=hosted_ratio,
+                growth=growth,
+            )
         )

@@ -1,0 +1,208 @@
+"""Tests for decision records, recorders, and engine emission."""
+
+import io
+import json
+
+from repro.core import OversubscriptionLevel, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.localsched import LocalScheduler
+from repro.obs import (
+    ADMISSION_GROWTH,
+    ADMISSION_POOLED,
+    ADMISSION_REJECTED,
+    DecisionRecord,
+    HostDecision,
+    JsonlRecorder,
+    MemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+)
+from repro.scheduling import slackvm_scheduler
+from repro.simulator import Simulation, VectorSimulation, build_hosts
+
+MACHINE = MachineSpec("pm", 16, 64.0)
+
+
+def _vm(i, vcpus=2, mem=4.0, ratio=2.0, arrival=0.0, departure=None):
+    return VMRequest(
+        f"vm-{i:03d}", VMSpec(vcpus, mem), OversubscriptionLevel(ratio),
+        arrival=arrival, departure=departure,
+    )
+
+
+def _workload(n=12):
+    vms = []
+    for i in range(n):
+        ratio = [1.0, 2.0, 3.0][i % 3]
+        vms.append(_vm(i, vcpus=1 + i % 4, mem=float(1 + i % 8), ratio=ratio,
+                       arrival=float(i), departure=float(i) + 30.0))
+    return vms
+
+
+class TestObjectEngineEmission:
+    def run_recorded(self, workload, num_hosts=2):
+        recorder = MemoryRecorder()
+        metrics = MetricsRegistry()
+        hosts = build_hosts(MACHINE, num_hosts)
+        result = Simulation(
+            hosts, slackvm_scheduler(), recorder=recorder, metrics=metrics
+        ).run(workload)
+        return result, recorder, metrics
+
+    def test_one_decision_per_arrival(self):
+        workload = _workload()
+        result, recorder, _ = self.run_recorded(workload)
+        assert len(recorder.decisions) == len(workload)
+        assert [d.seq for d in recorder.decisions] == list(range(len(workload)))
+
+    def test_decision_matches_result(self):
+        workload = _workload()
+        result, recorder, _ = self.run_recorded(workload)
+        for dec in recorder.decisions:
+            placed = dec.vm_id in result.placements
+            if placed:
+                rec = result.placements[dec.vm_id]
+                assert dec.chosen == rec.host
+                assert dec.hosted_ratio == rec.hosted_ratio
+                expected = ADMISSION_POOLED if rec.pooled else ADMISSION_GROWTH
+                assert dec.admission == expected
+            else:
+                assert dec.chosen is None
+                assert dec.admission == ADMISSION_REJECTED
+
+    def test_filter_and_weigher_tables_populated(self):
+        workload = _workload()
+        _, recorder, _ = self.run_recorded(workload)
+        dec = recorder.decisions[0]
+        for host_dec in dec.hosts:
+            assert set(host_dec.filters) == {"LevelSupportFilter", "CapacityFilter"}
+            if host_dec.eligible:
+                assert "ProgressWeigher" in host_dec.weigher_scores
+                assert "FirstFitWeigher" in host_dec.weigher_scores
+                assert host_dec.score == sum(host_dec.weigher_scores.values())
+
+    def test_admission_records_emitted_by_local_agents(self):
+        workload = _workload()
+        result, recorder, _ = self.run_recorded(workload)
+        assert len(recorder.admissions) == len(result.placements)
+        by_vm = {a.vm_id: a for a in recorder.admissions}
+        for vm_id, rec in result.placements.items():
+            assert by_vm[vm_id].hosted_ratio == rec.hosted_ratio
+            assert by_vm[vm_id].pooled == rec.pooled
+
+    def test_metrics_counters(self):
+        workload = _workload()
+        result, _, metrics = self.run_recorded(workload)
+        snap = metrics.to_dict()
+        assert snap["arrivals"]["value"] == len(workload)
+        assert snap["placements"]["value"] == len(result.placements)
+        assert snap["candidates"]["count"] == len(workload)
+
+    def test_rejection_recorded(self):
+        giant = _vm(0, vcpus=64, mem=512.0, ratio=1.0)
+        _, recorder, metrics = self.run_recorded([giant], num_hosts=1)
+        assert recorder.decisions[0].admission == ADMISSION_REJECTED
+        assert recorder.decisions[0].candidates == ()
+        assert metrics.to_dict()["rejections"]["value"] == 1
+
+    def test_recorder_off_by_default(self):
+        hosts = build_hosts(MACHINE, 2)
+        sim = Simulation(hosts, slackvm_scheduler())
+        assert not sim.recorder.enabled
+        sim.run(_workload())  # must not blow up, nothing recorded
+
+
+class TestVectorEngineEmission:
+    def run_recorded(self, workload, num_hosts=2, policy="progress"):
+        recorder = MemoryRecorder()
+        metrics = MetricsRegistry()
+        machines = [MachineSpec(f"pm-{i}", 16, 64.0) for i in range(num_hosts)]
+        result = VectorSimulation(
+            machines, policy=policy, recorder=recorder, metrics=metrics
+        ).run(workload)
+        return result, recorder, metrics
+
+    def test_one_decision_per_arrival(self):
+        workload = _workload()
+        result, recorder, _ = self.run_recorded(workload)
+        assert len(recorder.decisions) == len(workload)
+        assert len(recorder.admissions) == len(result.placements)
+
+    def test_filter_names_mirror_object_path(self):
+        _, recorder, _ = self.run_recorded(_workload())
+        dec = recorder.decisions[0]
+        for host_dec in dec.hosts:
+            assert set(host_dec.filters) == {"LevelSupportFilter", "CapacityFilter"}
+
+    def test_growth_recorded(self):
+        # First 2:1 VM on an empty host must grow its vNode.
+        vm = _vm(0, vcpus=4, mem=4.0, ratio=2.0)
+        _, recorder, _ = self.run_recorded([vm])
+        dec = recorder.decisions[0]
+        assert dec.admission == ADMISSION_GROWTH
+        assert dec.growth == 2  # ceil(4 vCPU / 2:1) physical CPUs
+
+    def test_pooled_admission(self):
+        cfg_pool = SlackVMConfig(pooling=True)
+        machines = [MachineSpec("pm-0", 4, 64.0)]
+        recorder = MemoryRecorder()
+        # Fill the host with a 2:1 vNode that has slack, then send a 3:1
+        # VM too big for its own vNode to grow.
+        w = [
+            _vm(0, vcpus=7, mem=4.0, ratio=2.0),  # 4 CPUs, slack 1 vCPU
+            _vm(1, vcpus=1, mem=1.0, ratio=3.0),
+        ]
+        result = VectorSimulation(
+            machines, config=cfg_pool, policy="first_fit", recorder=recorder
+        ).run(w)
+        assert result.pooled_placements == 1
+        dec = recorder.decisions[1]
+        assert dec.admission == ADMISSION_POOLED
+        assert dec.hosted_ratio == 2.0
+        assert dec.growth == 0
+
+
+class TestRecorderSinks:
+    def test_null_recorder(self):
+        r = NullRecorder()
+        assert not r.enabled
+
+    def test_jsonl_round_trip(self):
+        buf = io.StringIO()
+        recorder = JsonlRecorder(buf)
+        machines = [MachineSpec("pm-0", 16, 64.0)]
+        VectorSimulation(machines, policy="progress", recorder=recorder).run(
+            _workload(6)
+        )
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        kinds = {line["record"] for line in lines}
+        assert kinds == {"decision", "admission"}
+        decisions = [l for l in lines if l["record"] == "decision"]
+        assert len(decisions) == 6
+        assert all("hosts" in d and "admission" in d for d in decisions)
+
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder.record_decision(
+                DecisionRecord(
+                    seq=0, time=0.0, vm_id="vm-0", scheduler="test",
+                    hosts=(HostDecision(0, True, {"f": True}, {"w": 1.0}, 1.0),),
+                    chosen=0, admission=ADMISSION_GROWTH,
+                    hosted_ratio=1.0, growth=2,
+                )
+            )
+        [payload] = [json.loads(l) for l in path.read_text().splitlines()]
+        assert payload["vm_id"] == "vm-0"
+        assert payload["hosts"][0]["weigher_scores"] == {"w": 1.0}
+
+    def test_decision_record_candidates(self):
+        rec = DecisionRecord(
+            seq=0, time=0.0, vm_id="v", scheduler="s",
+            hosts=(
+                HostDecision(0, False, {"f": False}),
+                HostDecision(1, True, {"f": True}, {"w": 0.5}, 0.5),
+            ),
+            chosen=1, admission=ADMISSION_GROWTH,
+        )
+        assert rec.candidates == (1,)

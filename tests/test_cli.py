@@ -88,3 +88,47 @@ def test_evaluate_policy_option(capsys):
     assert main(["evaluate", "--mix", "F", "--population", "80",
                  "--seed", "1", "--policy", "progress_bestfit"]) == 0
     assert "savings" in capsys.readouterr().out
+
+
+def test_audit_command_smoke(tmp_path, capsys):
+    """Seeded random workload replayed through both engines: the audit
+    must report zero divergences and write the JSON dump."""
+    import json
+
+    dump = tmp_path / "audit.json"
+    assert main(["audit", "--policy", "progress", "--vms", "40",
+                 "--seed", "7", "-o", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert "divergences: 0" in out
+    assert "object path:" in out and "vector path:" in out
+    payload = json.loads(dump.read_text())
+    assert payload["ok"] is True
+    assert payload["policy"] == "progress"
+    assert payload["num_arrivals"] > 0
+    assert len(payload["decisions"]["object"]) == payload["num_arrivals"]
+    assert len(payload["decisions"]["vector"]) == payload["num_arrivals"]
+    assert payload["object"]["metrics"]["arrivals"]["value"] == payload["num_arrivals"]
+
+
+def test_audit_no_decisions_flag(tmp_path, capsys):
+    import json
+
+    dump = tmp_path / "audit.json"
+    assert main(["audit", "--vms", "25", "--seed", "3", "--policy", "first_fit",
+                 "--pms", "4", "-o", str(dump), "--no-decisions"]) == 0
+    payload = json.loads(dump.read_text())
+    assert "decisions" not in payload
+    assert payload["num_hosts"] == 4
+
+
+def test_python_dash_m_entry_point():
+    """``python -m repro`` must expose the same CLI."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0
+    assert "audit" in proc.stdout
