@@ -7,17 +7,24 @@ with only marginal changes where all levels saturate the same resource
 (A, B, D, G, K — the mixes without 3:1 VMs).
 """
 
+import os
+
 from conftest import RESULTS_DIR, publish
 from repro.analysis.export import export_fig3_csv
-from repro.analysis import fig3_series, grouped_hbar, render_fig3
+from repro.analysis import grouped_hbar, render_fig3
+from repro.runner import parallel_fig3_series
 from repro.workload import OVHCLOUD
 
 SEED = 42
 POPULATION = 500
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def compute():
-    return fig3_series(OVHCLOUD, target_population=POPULATION, seed=SEED)
+    # Sharded over a process pool; bit-identical to the serial driver.
+    return parallel_fig3_series(
+        OVHCLOUD, target_population=POPULATION, seed=SEED, workers=WORKERS
+    )
 
 
 def test_fig3(benchmark):

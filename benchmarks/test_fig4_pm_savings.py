@@ -6,23 +6,32 @@ OVHcloud (distribution F) and 8.8% for Azure at low 1:1 shares — while
 the no-3:1 diagonal shows only marginal threshold-effect gains.
 """
 
+import os
+
 from conftest import RESULTS_DIR, publish
 from repro.analysis.export import export_fig4_csv
-from repro.analysis import fig4_grid, render_fig4
+from repro.analysis import render_fig4
+from repro.runner import parallel_fig4_grid
 from repro.workload import AZURE, OVHCLOUD
 from repro.workload.distributions import DISTRIBUTIONS
 
 SEEDS = (42, 7)
 POPULATION = 500
+WORKERS = min(4, os.cpu_count() or 1)
 
 NO_3TO1 = {"A", "B", "D", "G", "K"}
 COMPLEMENTARY = {"E", "F", "I", "J"}  # mixes pairing 1:1 with 3:1
 
 
 def compute():
+    # Sharded over a process pool; bit-identical to the serial driver.
     return {
-        "ovhcloud": fig4_grid(OVHCLOUD, target_population=POPULATION, seeds=SEEDS),
-        "azure": fig4_grid(AZURE, target_population=POPULATION, seeds=SEEDS),
+        "ovhcloud": parallel_fig4_grid(
+            OVHCLOUD, target_population=POPULATION, seeds=SEEDS, workers=WORKERS
+        ),
+        "azure": parallel_fig4_grid(
+            AZURE, target_population=POPULATION, seeds=SEEDS, workers=WORKERS
+        ),
     }
 
 

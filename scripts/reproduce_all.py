@@ -5,19 +5,23 @@ A thin orchestrator over the same code paths the benches use; writes
 ``REPORT.md`` (default) with every table and figure, ready to diff
 against EXPERIMENTS.md.
 
-Run: python scripts/reproduce_all.py [--fast] [-o REPORT.md]
+Run: python scripts/reproduce_all.py [--fast] [--workers N] [-o REPORT.md]
      (--fast uses smaller populations/durations; ~30 s instead of ~2 min)
+
+The Figure 3/4 sweeps run through ``repro.runner``, sharded over
+``--workers`` processes (default: all cores).  The runner's
+determinism contract keeps the report bit-identical for any worker
+count, so parallelism only changes the wall clock.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import time
 from pathlib import Path
 
 from repro.analysis import (
-    fig3_series,
-    fig4_grid,
     render_fig2,
     render_fig3,
     render_fig4,
@@ -28,6 +32,7 @@ from repro.analysis import (
     table2_row,
 )
 from repro.perfmodel import TestbedParams, run_testbed
+from repro.runner import parallel_fig3_series, parallel_fig4_grid
 from repro.workload import AZURE, OVHCLOUD, PROVIDERS
 
 
@@ -35,6 +40,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
                         help="smaller populations/durations")
+    parser.add_argument("--workers", type=int, default=os.cpu_count() or 1,
+                        help="process-pool width for the Fig. 3/4 sweeps "
+                             "(default: all cores; results are identical "
+                             "for any value)")
     parser.add_argument("-o", "--output", default="REPORT.md")
     args = parser.parse_args()
 
@@ -62,11 +71,13 @@ def main() -> None:
         "slackvm": {k: v.quartiles_ms() for k, v in testbed.slackvm.items()},
     }))
 
-    fig3 = fig3_series(OVHCLOUD, target_population=population, seed=seeds[0])
+    fig3 = parallel_fig3_series(OVHCLOUD, target_population=population,
+                                seed=seeds[0], workers=args.workers)
     add("Figure 3 — unallocated resources (OVHcloud)", render_fig3(fig3))
 
     for catalog in (OVHCLOUD, AZURE):
-        grid = fig4_grid(catalog, target_population=population, seeds=seeds)
+        grid = parallel_fig4_grid(catalog, target_population=population,
+                                  seeds=seeds, workers=args.workers)
         add(f"Figure 4 — PM savings % ({catalog.name})", render_fig4(grid))
 
     out = Path(args.output)

@@ -124,9 +124,27 @@ def fig3_series(
     target_population: int = 500,
     seed: int = 0,
     mixes: Mapping[str, LevelMix] | None = None,
+    workers: int = 1,
     **kwargs,
 ) -> dict[str, DistributionOutcome]:
-    """Unallocated-resource comparison across distributions A–O (Fig. 3)."""
+    """Unallocated-resource comparison across distributions A–O (Fig. 3).
+
+    ``workers > 1`` shards the mixes over a process pool via
+    :func:`repro.runner.parallel_fig3_series` — results are
+    bit-identical to the serial path for any worker count.
+    """
+    if workers > 1:
+        from repro.runner.figures import parallel_fig3_series
+
+        return parallel_fig3_series(
+            catalog,
+            machine=machine,
+            target_population=target_population,
+            seed=seed,
+            mixes=mixes,
+            workers=workers,
+            **kwargs,
+        )
     mixes = dict(mixes) if mixes is not None else dict(DISTRIBUTIONS)
     return {
         label: evaluate_distribution(
@@ -147,9 +165,27 @@ def fig4_grid(
     target_population: int = 500,
     seeds: Sequence[int] = (0,),
     mixes: Mapping[str, LevelMix] | None = None,
+    workers: int = 1,
     **kwargs,
 ) -> dict[str, float]:
-    """Mean PM savings (%) per distribution, seed-averaged (Fig. 4)."""
+    """Mean PM savings (%) per distribution, seed-averaged (Fig. 4).
+
+    ``workers > 1`` shards the (mix, seed) grid over a process pool via
+    :func:`repro.runner.parallel_fig4_grid` — results are bit-identical
+    to the serial path for any worker count.
+    """
+    if workers > 1:
+        from repro.runner.figures import parallel_fig4_grid
+
+        return parallel_fig4_grid(
+            catalog,
+            machine=machine,
+            target_population=target_population,
+            seeds=seeds,
+            mixes=mixes,
+            workers=workers,
+            **kwargs,
+        )
     mixes = dict(mixes) if mixes is not None else dict(DISTRIBUTIONS)
     out: dict[str, float] = {}
     for label, mix in mixes.items():

@@ -6,7 +6,10 @@ Exposes the library's main workflows without writing Python:
 * ``slackvm generate`` — write a workload trace (JSON Lines);
 * ``slackvm size`` — minimal-cluster sizing for a trace file;
 * ``slackvm evaluate`` — dedicated-vs-SlackVM comparison for one mix;
-* ``slackvm sweep`` — Figures 3 & 4 for a provider;
+* ``slackvm sweep`` — Figures 3 & 4 for a provider, optionally sharded
+  over a process pool (``--workers``) with JSONL checkpointing and
+  resume (``--out`` / ``--resume``); results are bit-identical for any
+  worker count;
 * ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment;
 * ``slackvm audit`` — differential replay of one workload through both
   engines (object + vectorized), reporting the first divergence and
@@ -27,7 +30,6 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis import (
-    fig3_series,
     render_fig2,
     render_fig3,
     render_fig4,
@@ -104,6 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--provider", choices=sorted(PROVIDERS), default="ovhcloud")
     sweep.add_argument("--population", type=int, default=250)
     sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--num-seeds", type=int, default=1,
+                       help="average Fig. 4 over this many seeds derived "
+                            "from --seed via SeedSequence.spawn (default 1: "
+                            "use --seed literally)")
+    sweep.add_argument("--mixes", default=None,
+                       help="comma-separated mix subset (letters A-O, "
+                            "'S1,S2,S3' triples need 'label:S1,S2,S3'); "
+                            "default: all 15 distributions")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="shard cells over this many processes "
+                            "(results are bit-identical for any count)")
+    sweep.add_argument("--out", default=None,
+                       help="JSONL checkpoint path; completed cells are "
+                            "appended as they finish")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip cells already completed in --out "
+                            "(failed cells are retried)")
 
     tb = sub.add_parser("testbed",
                         help="run the Table IV / Fig. 2 isolation experiment")
@@ -201,14 +220,40 @@ def _cmd_evaluate(args) -> None:
 
 
 def _cmd_sweep(args) -> None:
-    catalog = PROVIDERS[args.provider]
-    outcomes = fig3_series(catalog, target_population=args.population,
-                           seed=args.seed)
+    from repro.runner import SweepSpec, derive_seeds, run_sweep
+
+    if args.resume and not args.out:
+        raise SystemExit("--resume requires --out")
+    if args.num_seeds > 1:
+        seeds = derive_seeds(args.seed, args.num_seeds)
+    else:
+        seeds = (args.seed,)
+    mixes = tuple(m for m in args.mixes.split(",") if m) if args.mixes else None
+    spec = SweepSpec(
+        providers=(args.provider,),
+        mixes=mixes if mixes is not None else tuple(DISTRIBUTIONS),
+        seeds=seeds,
+        target_population=args.population,
+    )
+    progress = (lambda line: print(line, file=sys.stderr)) if args.workers > 1 else None
+    sweep = run_sweep(spec, workers=args.workers, out=args.out,
+                      resume=args.resume, progress=progress)
+    if args.out:
+        print(f"checkpoint: {args.out} ({len(sweep.executed)} cells run, "
+              f"{len(sweep.skipped)} resumed, {sweep.elapsed_s:.1f}s "
+              f"at {args.workers} worker(s))", file=sys.stderr)
+    sweep.raise_on_failure()
+    # Fig. 3 uses the first seed's outcomes; Fig. 4 averages all seeds.
+    outcomes = {r.mix_label: r.outcome for r in sweep.results.values()
+                if r.seed == seeds[0]}
+    savings: dict[str, list[float]] = {}
+    for r in sweep.results.values():
+        savings.setdefault(r.mix_label, []).append(r.outcome.savings_percent)
     print(f"Figure 3 — unallocated resources ({args.provider})")
     print(render_fig3(outcomes))
     print()
     print(f"Figure 4 — PM savings % ({args.provider})")
-    print(render_fig4({k: o.savings_percent for k, o in outcomes.items()}))
+    print(render_fig4({k: sum(v) / len(v) for k, v in savings.items()}))
 
 
 def _cmd_testbed(args) -> None:

@@ -14,6 +14,7 @@ __all__ = [
     "PlacementError",
     "WorkloadError",
     "SimulationError",
+    "RunnerError",
 ]
 
 
@@ -45,3 +46,8 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class RunnerError(ReproError):
+    """A sweep specification or checkpoint is invalid, or a sweep
+    finished with failed cells the caller required to succeed."""

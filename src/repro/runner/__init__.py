@@ -1,0 +1,41 @@
+"""Parallel experiment runner (sweep sharding, checkpointing, resume).
+
+The paper's headline figures sweep many independent
+``evaluate_distribution`` cells (provider × mix × seed, each hiding a
+``minimal_cluster`` sizing search).  This package shards such a sweep
+across a process pool while keeping the results bit-identical to a
+serial run:
+
+* :mod:`repro.runner.spec` — the sweep grid (:class:`SweepSpec` /
+  :class:`SweepCell`) and deterministic per-cell seed derivation via
+  :func:`numpy.random.SeedSequence.spawn`;
+* :mod:`repro.runner.results` — JSON-lossless (de)serialization of
+  :class:`~repro.analysis.experiments.DistributionOutcome` and the
+  per-cell result record;
+* :mod:`repro.runner.checkpoint` — append-only JSONL checkpoints with
+  resume-from-partial-results;
+* :mod:`repro.runner.runner` — :func:`run_sweep`, the process-pool
+  executor with worker-side fault capture and metrics;
+* :mod:`repro.runner.figures` — drop-in parallel variants of the
+  Figure 3/4 drivers.
+"""
+
+from repro.runner.checkpoint import SweepCheckpoint
+from repro.runner.figures import parallel_fig3_series, parallel_fig4_grid
+from repro.runner.results import CellResult, outcome_from_dict, outcome_to_dict
+from repro.runner.runner import SweepResult, run_sweep
+from repro.runner.spec import SweepCell, SweepSpec, derive_seeds
+
+__all__ = [
+    "SweepSpec",
+    "SweepCell",
+    "derive_seeds",
+    "CellResult",
+    "outcome_to_dict",
+    "outcome_from_dict",
+    "SweepCheckpoint",
+    "SweepResult",
+    "run_sweep",
+    "parallel_fig3_series",
+    "parallel_fig4_grid",
+]

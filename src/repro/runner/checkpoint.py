@@ -1,0 +1,144 @@
+"""Append-only JSONL sweep checkpoints with resume.
+
+File layout (one JSON object per line, ``sort_keys`` canonical form):
+
+* line 1 — header: ``{"kind": "header", "fingerprint": ..., "spec":
+  {...}, "version": 1}``;
+* then one ``{"kind": "cell", ...}`` record per *completed* cell, in
+  completion order (see :meth:`CellResult.to_record` for the schema).
+
+Completion order is nondeterministic under a process pool, so the
+byte-identity contract between two runs of the same spec holds for the
+*sorted* line sets, not the raw files.  Records are flushed per cell:
+killing a sweep loses at most the in-flight cells, and a resumed run
+(:meth:`SweepCheckpoint.load`) re-executes only cells with no ``ok``
+record.  A cell appearing twice (e.g. a failure retried by a resume)
+is resolved to its last record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, TextIO
+
+from repro.core.errors import RunnerError
+from repro.runner.results import CellResult
+from repro.runner.spec import SweepSpec
+
+__all__ = ["SweepCheckpoint"]
+
+
+def _canon(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class SweepCheckpoint:
+    """One sweep's JSONL result file (writer + resume loader)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+
+    # -- writing -------------------------------------------------------------
+
+    def start(self, spec: SweepSpec, resume: bool = False) -> dict[str, CellResult]:
+        """Open the checkpoint and return already-completed results.
+
+        With ``resume=False`` any existing file is truncated and a
+        fresh header written.  With ``resume=True`` an existing file is
+        validated against ``spec`` (fingerprint match) and its cell
+        records returned; a missing file degrades to a fresh start.
+        """
+        done: dict[str, CellResult] = {}
+        if resume and self.path.exists():
+            done = self.load(spec)
+            self._fh = self.path.open("a", encoding="utf-8")
+            return done
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        header = {
+            "kind": "header",
+            "version": 1,
+            "fingerprint": spec.fingerprint(),
+            "spec": spec.to_dict(),
+        }
+        self._fh.write(_canon(header) + "\n")
+        self._fh.flush()
+        return done
+
+    def append(self, result: CellResult) -> None:
+        if self._fh is None:
+            raise RunnerError("checkpoint not started")
+        self._fh.write(_canon(result.to_record()) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self, spec: Optional[SweepSpec] = None) -> dict[str, CellResult]:
+        """Parse the file into ``{cell key: last CellResult}``.
+
+        When ``spec`` is given the header fingerprint must match — a
+        checkpoint from a different grid must not silently satisfy a
+        resume.  Truncated trailing lines (a killed writer) are
+        tolerated and dropped.
+        """
+        if not self.path.exists():
+            raise RunnerError(f"no checkpoint at {self.path}")
+        results: dict[str, CellResult] = {}
+        header = None
+        with self.path.open("r", encoding="utf-8") as fh:
+            for i, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill mid-write leaves at most one torn last line.
+                    continue
+                kind = record.get("kind")
+                if i == 0:
+                    if kind != "header":
+                        raise RunnerError(
+                            f"{self.path} is not a sweep checkpoint (no header)"
+                        )
+                    header = record
+                    continue
+                if kind == "cell":
+                    result = CellResult.from_record(record)
+                    results[result.key] = result
+        if header is None:
+            raise RunnerError(f"{self.path} is empty")
+        if spec is not None and header.get("fingerprint") != spec.fingerprint():
+            raise RunnerError(
+                f"checkpoint {self.path} was produced by a different sweep "
+                f"spec (fingerprint {header.get('fingerprint')} != "
+                f"{spec.fingerprint()}); refusing to resume"
+            )
+        return results
+
+    def load_spec(self) -> SweepSpec:
+        """Reconstruct the spec a checkpoint was produced with."""
+        if not self.path.exists():
+            raise RunnerError(f"no checkpoint at {self.path}")
+        with self.path.open("r", encoding="utf-8") as fh:
+            first = fh.readline().strip()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            raise RunnerError(f"{self.path} has a corrupt header") from None
+        if header.get("kind") != "header":
+            raise RunnerError(f"{self.path} is not a sweep checkpoint")
+        return SweepSpec.from_dict(header["spec"])

@@ -1,0 +1,153 @@
+"""Drop-in parallel variants of the Figure 3 / Figure 4 drivers.
+
+Same signatures and return shapes as
+:func:`repro.analysis.experiments.fig3_series` /
+:func:`~repro.analysis.experiments.fig4_grid`, plus ``workers`` /
+``out`` / ``resume``.  With ``workers=1`` the cells run in-process;
+results are bit-identical across worker counts (the runner's
+determinism contract), so these are safe substitutions everywhere the
+serial drivers are used today.
+
+Catalogs are addressed by registry name (workers resolve them from
+:data:`repro.workload.PROVIDERS`); an ad-hoc :class:`Catalog` object
+that is not registered there cannot be shipped to workers and is
+rejected up front.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.experiments import DistributionOutcome
+from repro.core.errors import RunnerError
+from repro.hardware.machine import SIM_WORKER, MachineSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.runner import run_sweep
+from repro.runner.spec import SweepSpec
+from repro.workload.catalog import PROVIDERS, Catalog
+from repro.workload.distributions import DISTRIBUTIONS, LevelMix
+
+__all__ = ["parallel_fig3_series", "parallel_fig4_grid"]
+
+
+def _provider_name(catalog: Union[Catalog, str]) -> str:
+    if isinstance(catalog, str):
+        name = catalog
+    else:
+        name = catalog.name
+        if PROVIDERS.get(name) is not catalog:
+            raise RunnerError(
+                f"catalog {name!r} is not registered in repro.workload.PROVIDERS; "
+                "the parallel drivers address catalogs by registry name"
+            )
+    if name not in PROVIDERS:
+        raise RunnerError(
+            f"unknown provider {name!r}; expected one of {sorted(PROVIDERS)}"
+        )
+    return name
+
+
+def _mix_entries(mixes: Optional[Mapping[str, LevelMix]]) -> tuple[str, ...]:
+    """Encode a fig3/fig4-style ``{label: mix}`` mapping as spec entries."""
+    if mixes is None:
+        return tuple(DISTRIBUTIONS)
+    entries = []
+    for label, mix in mixes.items():
+        triple = tuple(float(s) for s in mix)
+        if DISTRIBUTIONS.get(label.upper()) == triple:
+            entries.append(label.upper())
+        else:
+            s1, s2, s3 = triple
+            entries.append(f"{label}:{s1:g},{s2:g},{s3:g}")
+    return tuple(entries)
+
+
+def _build_spec(
+    catalog: Union[Catalog, str],
+    machine: MachineSpec,
+    target_population: int,
+    seeds: Sequence[int],
+    mixes: Optional[Mapping[str, LevelMix]],
+    policy: str,
+    pooling: bool,
+    baseline_policy: str,
+) -> SweepSpec:
+    return SweepSpec(
+        providers=(_provider_name(catalog),),
+        mixes=_mix_entries(mixes),
+        seeds=tuple(int(s) for s in seeds),
+        target_population=target_population,
+        policy=policy,
+        baseline_policy=baseline_policy,
+        pooling=pooling,
+        machine_cpus=machine.cpus,
+        machine_mem_gb=machine.mem_gb,
+    )
+
+
+def parallel_fig3_series(
+    catalog: Union[Catalog, str],
+    machine: MachineSpec = SIM_WORKER,
+    target_population: int = 500,
+    seed: int = 0,
+    mixes: Optional[Mapping[str, LevelMix]] = None,
+    *,
+    workers: int = 1,
+    out: Optional[str] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    policy: str = "progress",
+    pooling: bool = True,
+    baseline_policy: str = "first_fit",
+) -> dict[str, DistributionOutcome]:
+    """Fig. 3 unallocated-share series, sharded over a process pool."""
+    spec = _build_spec(
+        catalog, machine, target_population, (seed,), mixes,
+        policy, pooling, baseline_policy,
+    )
+    sweep = run_sweep(
+        spec, workers=workers, out=out, resume=resume,
+        metrics=metrics, progress=progress,
+    ).raise_on_failure()
+    return {
+        result.mix_label: result.outcome
+        for result in sweep.results.values()
+        if result.outcome is not None
+    }
+
+
+def parallel_fig4_grid(
+    catalog: Union[Catalog, str],
+    machine: MachineSpec = SIM_WORKER,
+    target_population: int = 500,
+    seeds: Sequence[int] = (0,),
+    mixes: Optional[Mapping[str, LevelMix]] = None,
+    *,
+    workers: int = 1,
+    out: Optional[str] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    policy: str = "progress",
+    pooling: bool = True,
+    baseline_policy: str = "first_fit",
+) -> dict[str, float]:
+    """Fig. 4 seed-averaged PM savings, sharded over a process pool."""
+    spec = _build_spec(
+        catalog, machine, target_population, seeds, mixes,
+        policy, pooling, baseline_policy,
+    )
+    sweep = run_sweep(
+        spec, workers=workers, out=out, resume=resume,
+        metrics=metrics, progress=progress,
+    ).raise_on_failure()
+    per_label: dict[str, list[float]] = {
+        label: [] for label, _ in spec.resolved_mixes
+    }
+    for result in sweep.results.values():
+        assert result.outcome is not None  # raise_on_failure() guarantees it
+        per_label[result.mix_label].append(result.outcome.savings_percent)
+    return {label: float(np.mean(vals)) for label, vals in per_label.items()}

@@ -1,0 +1,266 @@
+"""Process-pool sweep execution with fault capture and checkpointing.
+
+``run_sweep`` shards a :class:`~repro.runner.spec.SweepSpec` across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The worker function
+receives only JSON primitives (provider *names*, mix triples, integer
+seeds) and resolves library objects locally, so no start method or
+pickling subtlety leaks into the API, and the exact same function runs
+in-process for ``workers <= 1`` — the serial path *is* the parallel
+path minus the pool, which is what makes the two bit-identical.
+
+Fault model: any exception inside a cell (unknown provider, infeasible
+sizing, workload error) is captured in the worker and returned as a
+``failed`` record with type, message, traceback and the cell's seed;
+sibling cells keep running.  Pool-level failures (a worker killed by
+the OS) are likewise folded into failed records rather than aborting
+the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.errors import RunnerError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.runner.checkpoint import SweepCheckpoint
+from repro.runner.results import STATUS_FAILED, STATUS_OK, CellResult, outcome_to_dict
+from repro.runner.spec import SweepCell, SweepSpec
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+def _cell_payload(spec: SweepSpec, cell: SweepCell) -> dict:
+    """JSON-primitive work unit shipped to a worker process."""
+    return {
+        "provider": cell.provider,
+        "mix_label": cell.mix_label,
+        "mix": list(cell.mix),
+        "seed": cell.seed,
+        "target_population": spec.target_population,
+        "policy": spec.policy,
+        "baseline_policy": spec.baseline_policy,
+        "pooling": spec.pooling,
+        "machine_cpus": spec.machine_cpus,
+        "machine_mem_gb": spec.machine_mem_gb,
+    }
+
+
+def _run_cell(payload: dict) -> dict:
+    """Execute one cell; never raises — failures become records.
+
+    Module-level so the process pool can address it by qualified name;
+    imports are deferred so a forked worker touches the heavy modules
+    only when it actually runs a cell.
+    """
+    started = time.perf_counter()
+    record = {
+        "kind": "cell",
+        "provider": payload["provider"],
+        "mix_label": payload["mix_label"],
+        "mix": list(payload["mix"]),
+        "seed": payload["seed"],
+    }
+    record["key"] = "{provider}/{mix_label}/{seed}".format(**record)
+    try:
+        from repro.analysis.experiments import evaluate_distribution
+        from repro.hardware.machine import MachineSpec
+        from repro.workload.catalog import PROVIDERS
+
+        try:
+            catalog = PROVIDERS[payload["provider"]]
+        except KeyError:
+            raise RunnerError(
+                f"unknown provider {payload['provider']!r}; "
+                f"expected one of {sorted(PROVIDERS)}"
+            ) from None
+        machine = MachineSpec(
+            name="sweep-pm",
+            cpus=payload["machine_cpus"],
+            mem_gb=payload["machine_mem_gb"],
+        )
+        outcome = evaluate_distribution(
+            catalog,
+            tuple(payload["mix"]),
+            machine=machine,
+            target_population=payload["target_population"],
+            seed=payload["seed"],
+            policy=payload["policy"],
+            pooling=payload["pooling"],
+            baseline_policy=payload["baseline_policy"],
+        )
+        record["status"] = STATUS_OK
+        record["outcome"] = outcome_to_dict(outcome)
+    except Exception as exc:  # noqa: BLE001 — fault capture is the contract
+        record["status"] = STATUS_FAILED
+        record["error"] = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+    record["elapsed_s"] = time.perf_counter() - started
+    return record
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a finished (or resumed) sweep produced."""
+
+    spec: SweepSpec
+    results: dict[str, CellResult]  # cell key -> result, in grid order
+    executed: tuple[str, ...]  # keys run by *this* invocation
+    skipped: tuple[str, ...]  # keys satisfied by the checkpoint
+    workers: int
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results.values())
+
+    def failures(self) -> list[CellResult]:
+        return [r for r in self.results.values() if not r.ok]
+
+    def outcomes(self) -> dict[str, "object"]:
+        """``{cell key: DistributionOutcome}`` for the ok cells."""
+        return {k: r.outcome for k, r in self.results.items() if r.ok}
+
+    def raise_on_failure(self) -> "SweepResult":
+        failures = self.failures()
+        if failures:
+            lines = [
+                f"  {r.key}: {r.error['type']}: {r.error['message']}"
+                if r.error
+                else f"  {r.key}: unknown failure"
+                for r in failures
+            ]
+            raise RunnerError(
+                f"{len(failures)}/{len(self.results)} sweep cells failed:\n"
+                + "\n".join(lines)
+            )
+        return self
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    out: Optional[str] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run every cell of ``spec``, sharded over ``workers`` processes.
+
+    * ``out`` — JSONL checkpoint path; each completed cell is appended
+      and flushed, so a killed sweep can be continued.
+    * ``resume`` — skip cells with an ``ok`` record in ``out`` (failed
+      cells are retried); requires ``out``.
+    * ``metrics`` — optional registry; receives ``runner.*`` counters,
+      a per-cell wall-clock histogram and a throughput gauge.
+    * ``progress`` — callable invoked with one human-readable line per
+      completed cell (e.g. ``print``).
+
+    Determinism: the result for every cell is a pure function of the
+    spec — same spec in, same records out, for any worker count and
+    any interleaving.
+    """
+    metrics = NULL_METRICS if metrics is None else metrics
+    if resume and out is None:
+        raise RunnerError("resume=True requires a checkpoint path (out=...)")
+    cells = spec.cells()
+    total = len(cells)
+
+    checkpoint: Optional[SweepCheckpoint] = None
+    done: dict[str, CellResult] = {}
+    if out is not None:
+        checkpoint = SweepCheckpoint(out)
+        done = checkpoint.start(spec, resume=resume)
+    # Only successful prior results satisfy a cell; failures re-run.
+    satisfied = {k: r for k, r in done.items() if r.ok}
+    pending = [c for c in cells if c.key not in satisfied]
+
+    if metrics.enabled:
+        metrics.counter("runner.cells_total").inc(total)
+        metrics.counter("runner.cells_skipped").inc(len(satisfied))
+
+    started = time.perf_counter()
+    completed = 0
+    results: dict[str, CellResult] = dict(satisfied)
+
+    def finish(result: CellResult) -> None:
+        nonlocal completed
+        completed += 1
+        results[result.key] = result
+        if checkpoint is not None:
+            checkpoint.append(result)
+        if metrics.enabled:
+            metrics.counter("runner.cells_done").inc()
+            if not result.ok:
+                metrics.counter("runner.cells_failed").inc()
+            metrics.histogram("runner.cell_seconds").observe(result.elapsed_s)
+        if progress is not None:
+            status = "ok" if result.ok else f"FAILED ({result.error['type']})"
+            progress(
+                f"[{completed + len(satisfied)}/{total}] "
+                f"{result.key} -> {status} ({result.elapsed_s:.2f}s)"
+            )
+
+    try:
+        if workers <= 1 or len(pending) <= 1:
+            for cell in pending:
+                record = _run_cell(_cell_payload(spec, cell))
+                finish(CellResult.from_record(record, record.get("elapsed_s", 0.0)))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_cell, _cell_payload(spec, cell)): cell
+                    for cell in pending
+                }
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Worker died outside _run_cell's catch (e.g.
+                        # OOM-killed): synthesize the failed record.
+                        finish(
+                            CellResult(
+                                provider=cell.provider,
+                                mix_label=cell.mix_label,
+                                mix=cell.mix,
+                                seed=cell.seed,
+                                status=STATUS_FAILED,
+                                error={
+                                    "type": type(exc).__name__,
+                                    "message": str(exc),
+                                    "traceback": "".join(
+                                        traceback.format_exception(exc)
+                                    ),
+                                },
+                            )
+                        )
+                        continue
+                    record = future.result()
+                    finish(
+                        CellResult.from_record(record, record.get("elapsed_s", 0.0))
+                    )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+    elapsed = time.perf_counter() - started
+    if metrics.enabled:
+        metrics.timer("runner.sweep_wall").observe(elapsed)
+        if elapsed > 0:
+            metrics.gauge("runner.throughput_cells_per_s").set(completed / elapsed)
+
+    ordered = {c.key: results[c.key] for c in cells if c.key in results}
+    return SweepResult(
+        spec=spec,
+        results=ordered,
+        executed=tuple(c.key for c in pending),
+        skipped=tuple(k for k in satisfied),
+        workers=max(1, workers),
+        elapsed_s=elapsed,
+    )

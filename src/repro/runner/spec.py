@@ -1,0 +1,243 @@
+"""Sweep specification: the experiment grid and its seed derivation.
+
+A :class:`SweepSpec` names a provider × mix × seed grid with the knobs
+``evaluate_distribution`` exposes.  Everything in the spec is a plain
+JSON value, which buys three properties at once:
+
+* cells can be shipped to worker processes without pickling library
+  objects (catalogs are resolved by name inside the worker);
+* the spec embeds verbatim in the checkpoint header, so a resumed run
+  can verify it is continuing the *same* sweep (``fingerprint``);
+* two runs of the same spec enumerate the same cells in the same order
+  with the same seeds — the determinism contract of the runner.
+
+Seeds come either from an explicit ``seeds`` tuple (drop-in for the
+legacy drivers that pinned literal seeds) or are derived from
+``root_seed`` with :meth:`numpy.random.SeedSequence.spawn`, which
+guarantees statistically independent streams per seed slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import RunnerError
+from repro.hardware.machine import SIM_WORKER
+from repro.workload.distributions import DISTRIBUTIONS, LevelMix
+
+__all__ = ["SweepCell", "SweepSpec", "derive_seeds", "resolve_mix_entry"]
+
+#: Checkpoint/spec schema version (bump on incompatible changes).
+SPEC_VERSION = 1
+
+
+def derive_seeds(root_seed: int, n: int) -> tuple[int, ...]:
+    """``n`` independent integer seeds derived from one root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so the streams seeded
+    by the results are statistically independent of each other and of
+    the root.  Each child sequence is collapsed to a 128-bit integer
+    (``default_rng`` accepts arbitrary-size ints), keeping derived
+    seeds JSON-serializable and printable in cell keys.
+    """
+    if n < 0:
+        raise RunnerError(f"cannot derive {n} seeds")
+    root = np.random.SeedSequence(root_seed)
+    out = []
+    for child in root.spawn(n):
+        hi, lo = (int(w) for w in child.generate_state(2, dtype=np.uint64))
+        out.append((hi << 64) | lo)
+    return tuple(out)
+
+
+def resolve_mix_entry(entry: str) -> tuple[str, LevelMix]:
+    """Resolve one spec mix entry to ``(label, (s1, s2, s3))``.
+
+    Three accepted forms: a paper distribution letter (``"F"``), a raw
+    percent triple (``"50,0,50"``, labelled by itself), or a labelled
+    triple (``"hot:50,0,50"``).
+    """
+    text = entry.strip()
+    if ":" in text:
+        label, _, triple = text.partition(":")
+        label = label.strip()
+        triple = triple.strip()
+    elif text.upper() in DISTRIBUTIONS:
+        return text.upper(), DISTRIBUTIONS[text.upper()]
+    else:
+        label = triple = text
+    try:
+        s1, s2, s3 = (float(x) for x in triple.split(","))
+    except ValueError:
+        raise RunnerError(
+            f"invalid mix entry {entry!r}: expected a letter "
+            f"{'/'.join(DISTRIBUTIONS)}, 'S1,S2,S3' shares, or 'label:S1,S2,S3'"
+        ) from None
+    if not label:
+        raise RunnerError(f"invalid mix entry {entry!r}: empty label")
+    return label, (s1, s2, s3)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One experiment of a sweep: a (provider, mix, seed) point."""
+
+    index: int
+    provider: str
+    mix_label: str
+    mix: LevelMix
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for checkpointing and resume."""
+        return f"{self.provider}/{self.mix_label}/{self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A provider × mix × seed experiment grid.
+
+    ``providers`` are registry names resolved against
+    :data:`repro.workload.PROVIDERS` *inside the worker* — an unknown
+    name surfaces as a failed-cell record, not a crashed sweep.  Mix
+    entries are resolved eagerly (they are spec syntax; see
+    :func:`resolve_mix_entry`).
+
+    ``seeds`` (explicit) takes precedence over the ``root_seed`` /
+    ``num_seeds`` derivation; the latter is the recommended mode for
+    many-seed sweeps.
+    """
+
+    providers: tuple[str, ...] = ("ovhcloud",)
+    mixes: tuple[str, ...] = tuple(DISTRIBUTIONS)
+    seeds: Optional[tuple[int, ...]] = None
+    root_seed: int = 0
+    num_seeds: int = 1
+    target_population: int = 500
+    policy: str = "progress"
+    baseline_policy: str = "first_fit"
+    pooling: bool = True
+    machine_cpus: int = SIM_WORKER.cpus
+    machine_mem_gb: float = SIM_WORKER.mem_gb
+    resolved_mixes: tuple[tuple[str, LevelMix], ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.providers:
+            raise RunnerError("a sweep needs at least one provider")
+        if not self.mixes:
+            raise RunnerError("a sweep needs at least one mix")
+        if self.seeds is None and self.num_seeds <= 0:
+            raise RunnerError("num_seeds must be positive when seeds is not given")
+        if self.seeds is not None and not self.seeds:
+            raise RunnerError("explicit seeds tuple cannot be empty")
+        if self.target_population <= 0:
+            raise RunnerError("target_population must be positive")
+        if self.machine_cpus <= 0 or self.machine_mem_gb <= 0:
+            raise RunnerError("machine_cpus and machine_mem_gb must be positive")
+        resolved = tuple(resolve_mix_entry(m) for m in self.mixes)
+        labels = [label for label, _ in resolved]
+        if len(set(labels)) != len(labels):
+            raise RunnerError(f"duplicate mix labels in {labels}")
+        object.__setattr__(self, "resolved_mixes", resolved)
+
+    # -- seeds & cells -------------------------------------------------------
+
+    def effective_seeds(self) -> tuple[int, ...]:
+        """The per-slot seeds: explicit, or SeedSequence-derived."""
+        if self.seeds is not None:
+            return tuple(int(s) for s in self.seeds)
+        return derive_seeds(self.root_seed, self.num_seeds)
+
+    def cells(self) -> list[SweepCell]:
+        """Enumerate the grid in deterministic order.
+
+        Seed slots are shared across (provider, mix) pairs — the
+        Figure 4 protocol averages the *same* trace seeds over every
+        mix, so a seed slot means "the same workload randomness".
+        """
+        seeds = self.effective_seeds()
+        out: list[SweepCell] = []
+        index = 0
+        for provider in self.providers:
+            for label, mix in self.resolved_mixes:
+                for seed in seeds:
+                    out.append(
+                        SweepCell(
+                            index=index,
+                            provider=provider,
+                            mix_label=label,
+                            mix=mix,
+                            seed=seed,
+                        )
+                    )
+                    index += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.providers) * len(self.mixes) * len(self.effective_seeds())
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return iter(self.cells())
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": SPEC_VERSION,
+            "providers": list(self.providers),
+            "mixes": list(self.mixes),
+            "seeds": None if self.seeds is None else [int(s) for s in self.seeds],
+            "root_seed": self.root_seed,
+            "num_seeds": self.num_seeds,
+            "target_population": self.target_population,
+            "policy": self.policy,
+            "baseline_policy": self.baseline_policy,
+            "pooling": self.pooling,
+            "machine_cpus": self.machine_cpus,
+            "machine_mem_gb": self.machine_mem_gb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise RunnerError(
+                f"unsupported sweep spec version {version} (expected {SPEC_VERSION})"
+            )
+        seeds = data.get("seeds")
+        return cls(
+            providers=tuple(data["providers"]),
+            mixes=tuple(data["mixes"]),
+            seeds=None if seeds is None else tuple(int(s) for s in seeds),
+            root_seed=int(data.get("root_seed", 0)),
+            num_seeds=int(data.get("num_seeds", 1)),
+            target_population=int(data["target_population"]),
+            policy=data.get("policy", "progress"),
+            baseline_policy=data.get("baseline_policy", "first_fit"),
+            pooling=bool(data.get("pooling", True)),
+            machine_cpus=int(data["machine_cpus"]),
+            machine_mem_gb=float(data["machine_mem_gb"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash used to detect spec drift on resume."""
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def seeds_from_arg(text: str | Sequence[int]) -> tuple[int, ...]:
+    """Parse a CLI ``--seeds`` value: ``"42,7"`` or an int sequence."""
+    if isinstance(text, str):
+        try:
+            return tuple(int(x) for x in text.split(","))
+        except ValueError:
+            raise RunnerError(f"invalid seeds {text!r}: expected comma-separated ints")
+    return tuple(int(x) for x in text)

@@ -49,7 +49,10 @@ class WorkloadParams:
         default_factory=lambda: dict(DEFAULT_BEHAVIOUR_SHARES)
     )
     oversub_mem_cap: float = OVERSUB_MEM_CAP_GB
-    seed: int = 0
+    #: Accepts a plain int or a :class:`numpy.random.SeedSequence` (e.g.
+    #: one spawned by the sweep runner); both feed ``default_rng``
+    #: directly, so a trace is a pure function of ``(params, seed)``.
+    seed: int | np.random.SeedSequence = 0
 
     def __post_init__(self) -> None:
         if self.target_population <= 0:

@@ -1,0 +1,105 @@
+"""Sweep spec: seed derivation, cell enumeration, serialization."""
+
+import pytest
+
+from repro.core.errors import RunnerError
+from repro.runner import SweepSpec, derive_seeds
+from repro.runner.spec import resolve_mix_entry, seeds_from_arg
+from repro.workload.distributions import DISTRIBUTIONS
+
+
+def test_derive_seeds_deterministic_and_distinct():
+    a = derive_seeds(123, 8)
+    b = derive_seeds(123, 8)
+    assert a == b
+    assert len(set(a)) == 8
+    # A prefix of a longer spawn is the same seeds (stable extension).
+    assert derive_seeds(123, 3) == a[:3]
+    # A different root derives disjoint seeds.
+    assert not set(a) & set(derive_seeds(124, 8))
+
+
+def test_derive_seeds_rejects_negative_count():
+    with pytest.raises(RunnerError):
+        derive_seeds(0, -1)
+
+
+def test_resolve_mix_entry_forms():
+    assert resolve_mix_entry("F") == ("F", DISTRIBUTIONS["F"])
+    assert resolve_mix_entry("f") == ("F", DISTRIBUTIONS["F"])
+    assert resolve_mix_entry("50,0,50") == ("50,0,50", (50.0, 0.0, 50.0))
+    assert resolve_mix_entry("hot:10,20,70") == ("hot", (10.0, 20.0, 70.0))
+    with pytest.raises(RunnerError):
+        resolve_mix_entry("not-a-mix")
+    with pytest.raises(RunnerError):
+        resolve_mix_entry(":50,0,50")
+
+
+def test_cells_enumeration_order_and_keys():
+    spec = SweepSpec(
+        providers=("ovhcloud", "azure"),
+        mixes=("A", "F"),
+        seeds=(1, 2),
+        target_population=50,
+    )
+    cells = spec.cells()
+    assert len(cells) == len(spec) == 8
+    assert [c.index for c in cells] == list(range(8))
+    assert cells[0].key == "ovhcloud/A/1"
+    assert cells[-1].key == "azure/F/2"
+    keys = [c.key for c in cells]
+    assert len(set(keys)) == len(keys)
+    # Enumeration is stable across calls.
+    assert [c.key for c in spec.cells()] == keys
+
+
+def test_derived_seed_mode_matches_explicit():
+    derived = SweepSpec(mixes=("A",), root_seed=9, num_seeds=3,
+                        target_population=50)
+    explicit = SweepSpec(mixes=("A",), seeds=derive_seeds(9, 3),
+                         target_population=50)
+    assert derived.effective_seeds() == explicit.effective_seeds()
+    assert [c.key for c in derived.cells()] == [c.key for c in explicit.cells()]
+
+
+def test_spec_roundtrip_and_fingerprint():
+    spec = SweepSpec(
+        providers=("azure",),
+        mixes=("A", "hot:50,0,50"),
+        root_seed=7,
+        num_seeds=2,
+        target_population=80,
+        policy="first_fit",
+        pooling=False,
+        machine_cpus=16,
+        machine_mem_gb=64.0,
+    )
+    clone = SweepSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.fingerprint() == spec.fingerprint()
+    other = SweepSpec.from_dict({**spec.to_dict(), "root_seed": 8})
+    assert other.fingerprint() != spec.fingerprint()
+
+
+def test_spec_validation():
+    with pytest.raises(RunnerError):
+        SweepSpec(providers=())
+    with pytest.raises(RunnerError):
+        SweepSpec(mixes=())
+    with pytest.raises(RunnerError):
+        SweepSpec(num_seeds=0)
+    with pytest.raises(RunnerError):
+        SweepSpec(seeds=())
+    with pytest.raises(RunnerError):
+        SweepSpec(target_population=0)
+    with pytest.raises(RunnerError):
+        SweepSpec(mixes=("A", "a"))  # duplicate label after normalization
+    with pytest.raises(RunnerError):
+        SweepSpec(machine_cpus=0)
+
+
+def test_seeds_from_arg():
+    assert seeds_from_arg("42,7") == (42, 7)
+    assert seeds_from_arg([1, 2]) == (1, 2)
+    with pytest.raises(RunnerError):
+        seeds_from_arg("42,x")

@@ -52,6 +52,39 @@ def test_sweep_command(capsys):
     assert "Figure 3" in out and "Figure 4" in out
 
 
+def test_sweep_command_parallel_checkpoint_resume(tmp_path, capsys):
+    out_file = tmp_path / "sweep.jsonl"
+    args = ["sweep", "--provider", "ovhcloud", "--population", "40",
+            "--mixes", "A,F", "--out", str(out_file)]
+    assert main(args + ["--workers", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 3" in captured.out
+    assert "2 cells run" in captured.err
+    first = sorted(out_file.read_text().splitlines())
+    # Resuming a complete checkpoint re-runs nothing.
+    assert main(args + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert "0 cells run, 2 resumed" in captured.err
+    # A fresh serial run of the same spec is byte-identical.
+    serial_file = tmp_path / "serial.jsonl"
+    assert main(["sweep", "--provider", "ovhcloud", "--population", "40",
+                 "--mixes", "A,F", "--out", str(serial_file)]) == 0
+    capsys.readouterr()
+    assert sorted(serial_file.read_text().splitlines()) == first
+
+
+def test_sweep_command_num_seeds(capsys):
+    assert main(["sweep", "--provider", "ovhcloud", "--population", "40",
+                 "--mixes", "F", "--num-seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+
+
+def test_sweep_resume_requires_out():
+    with pytest.raises(SystemExit, match="--resume requires --out"):
+        main(["sweep", "--resume"])
+
+
 def test_testbed_command(capsys):
     assert main(["testbed", "--duration", "120"]) == 0
     out = capsys.readouterr().out
