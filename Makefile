@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench repro examples clean
+.PHONY: install test bench bench-engine golden repro examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,8 +11,19 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly --ignore=tests/test_examples.py
 
+test-quick:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow" --ignore=tests/test_examples.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the committed placement-kernel baseline (quiet machine!).
+bench-engine:
+	$(PYTHON) -m repro bench engine -o BENCH_engine.json
+
+# Regenerate the golden decision-trace corpus (tests/fixtures/golden).
+golden:
+	$(PYTHON) scripts/regen_golden.py
 
 repro:
 	$(PYTHON) scripts/reproduce_all.py -o REPORT.md

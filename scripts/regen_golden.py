@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Regenerate the golden decision-trace corpus.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+Freezes, under ``tests/fixtures/golden/``:
+
+* ``trace.jsonl`` — a small seeded workload (the *frozen trace*; the
+  conformance suite replays this file, never the RNG, so fixture
+  stability does not depend on numpy's bit-stream across versions);
+* ``<policy>.jsonl`` — one JSON-Lines decision stream per placement
+  policy, recorded with the **naive** reference kernel
+  (:mod:`repro.simulator.refkernel`), the pre-change oracle;
+* ``manifest.json`` — cluster shape, per-policy summaries and the
+  generation parameters, for provenance.
+
+``tests/simulator/test_golden_trace.py`` replays the frozen trace
+through the incremental kernel (byte-identical stream required), the
+naive kernel (ditto) and the object engine (field-level diff via
+:func:`repro.obs.audit.diff_decision_streams`).  Regenerate only when
+a *deliberate* decision-semantics change lands, and say so in the
+commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.hardware import MachineSpec  # noqa: E402
+from repro.obs.records import JsonlRecorder  # noqa: E402
+from repro.simulator import VectorSimulation  # noqa: E402
+from repro.simulator.vectorpool import POLICIES  # noqa: E402
+from repro.workload.catalog import AZURE  # noqa: E402
+from repro.workload.generator import WorkloadParams, generate_workload  # noqa: E402
+from repro.workload.traces import load_trace, save_trace  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "fixtures" / "golden"
+
+#: Generation parameters.  Chosen (seed scan) so every policy rejects
+#: at least one VM and most exercise §V-B pooling — the corpus must
+#: cover all three admission kinds, not just the happy path.
+SEED = 2030
+TARGET_POPULATION = 40
+LEVEL_MIX = (40, 30, 30)
+NUM_HOSTS = 5
+HOST_CPUS = 16
+HOST_MEM_GB = 64.0
+
+
+def machines() -> list[MachineSpec]:
+    return [MachineSpec(f"pm-{i}", HOST_CPUS, HOST_MEM_GB) for i in range(NUM_HOSTS)]
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    params = WorkloadParams(
+        catalog=AZURE,
+        level_mix=LEVEL_MIX,
+        target_population=TARGET_POPULATION,
+        seed=SEED,
+    )
+    save_trace(generate_workload(params), GOLDEN_DIR / "trace.jsonl")
+    # Record from the *loaded* trace — the exact objects the test will
+    # replay — so a lossy round-trip can never hide behind regen.
+    workload = load_trace(GOLDEN_DIR / "trace.jsonl")
+
+    summaries = {}
+    for policy in POLICIES:
+        stream = GOLDEN_DIR / f"{policy}.jsonl"
+        with JsonlRecorder(stream) as recorder:
+            result = VectorSimulation(
+                machines(), policy=policy, kernel="naive", recorder=recorder
+            ).run(workload)
+        summaries[policy] = {
+            "placed": len(result.placements),
+            "rejected": len(result.rejections),
+            "pooled": result.pooled_placements,
+        }
+        print(f"{policy:20s} {summaries[policy]}")
+
+    manifest = {
+        "seed": SEED,
+        "catalog": "azure",
+        "level_mix": list(LEVEL_MIX),
+        "target_population": TARGET_POPULATION,
+        "num_vms": len(workload),
+        "machines": [
+            {"name": m.name, "cpus": m.cpus, "mem_gb": m.mem_gb} for m in machines()
+        ],
+        "policies": summaries,
+    }
+    (GOLDEN_DIR / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(POLICIES)} streams + trace + manifest to {GOLDEN_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

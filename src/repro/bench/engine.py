@@ -1,0 +1,256 @@
+"""``repro bench engine`` — placement-kernel micro-benchmark.
+
+Measures the vector engine's event throughput (arrivals + departures
+processed per second) for both placement kernels on the same generated
+workloads:
+
+* ``incremental`` — the allocation-free kernel in
+  :mod:`repro.simulator.vectorpool` (dirty-host bookkeeping, candidate
+  masks, shape-keyed masked-score cache);
+* ``naive`` — the retained pre-change reference in
+  :mod:`repro.simulator.refkernel`, run end to end through the
+  pre-change flow (heap drain, allocating selection), so speedups are
+  measured against the engine as it existed before the rewrite.
+
+Every cell verifies that the two kernels produce identical placements,
+rejections, pooling counts and timelines before its timing is trusted
+— a benchmark of a wrong kernel is worthless.  Per-op timers go
+through :class:`repro.obs.metrics.MetricsRegistry` (the ``select_s``
+timer the engine already maintains), identically for both arms.
+
+The committed ``BENCH_engine.json`` is this module's output on the
+full grid; :func:`compare_engine_bench` checks a fresh (usually
+smaller) run against it on **speedup ratios only** — absolute
+events/sec are machine-dependent, the incremental-vs-naive ratio
+mostly is not — with a generous tolerance for noisy CI runners.
+"""
+
+from __future__ import annotations
+
+import platform
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.hardware.machine import MachineSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.simulator.vectorpool import KERNELS, POLICIES, VectorSimulation
+from repro.workload.catalog import PROVIDERS
+from repro.workload.generator import WorkloadParams, generate_workload
+
+__all__ = ["EngineBenchSpec", "run_engine_bench", "compare_engine_bench"]
+
+#: Schema version of the JSON payload (bump on incompatible change).
+SCHEMA = 1
+
+
+class BenchError(ReproError):
+    """A benchmark invariant failed (kernel mismatch, bad baseline...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class EngineBenchSpec:
+    """One engine-benchmark grid.
+
+    ``vms_per_host`` scales the workload with the cluster so load (and
+    therefore per-event work) stays comparable across sizes; the
+    defaults reproduce the committed ``BENCH_engine.json`` grid.
+    """
+
+    hosts: tuple[int, ...] = (500, 2000, 5000)
+    policies: tuple[str, ...] = tuple(POLICIES)
+    provider: str = "azure"
+    seed: int = 7
+    vms_per_host: float = 4.0
+    host_cpus: int = 48
+    host_mem_gb: float = 192.0
+    warmup_vms: int = 2000
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        unknown = [p for p in self.policies if p not in POLICIES]
+        if unknown:
+            raise BenchError(f"unknown policies {unknown}; expected {POLICIES}")
+        if self.provider not in PROVIDERS:
+            raise BenchError(
+                f"unknown provider {self.provider!r}; expected {sorted(PROVIDERS)}"
+            )
+        if not self.hosts or any(n <= 0 for n in self.hosts):
+            raise BenchError(f"hosts must be positive, got {self.hosts}")
+
+
+def _result_fingerprint(result) -> tuple:
+    return (
+        {k: (v.host, v.hosted_ratio, v.pooled) for k, v in result.placements.items()},
+        tuple(result.rejections),
+        result.pooled_placements,
+        result.timeline.times,
+        result.timeline.alloc_cpu,
+        result.timeline.alloc_mem,
+    )
+
+
+def run_engine_bench(
+    spec: EngineBenchSpec = EngineBenchSpec(),
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the grid and return the JSON-ready payload.
+
+    For each (cluster size, policy) cell both kernels replay the same
+    workload once, after a shared warmup slice; with ``spec.verify``
+    the two results must agree exactly or :class:`BenchError` is
+    raised.  ``progress`` (when given) receives one line per cell.
+    """
+    say = progress or (lambda line: None)
+    catalog = PROVIDERS[spec.provider]
+    cells = []
+    for num_hosts in spec.hosts:
+        params = WorkloadParams(
+            catalog=catalog,
+            level_mix=(40, 30, 30),
+            target_population=max(1, round(spec.vms_per_host * num_hosts)),
+            seed=spec.seed,
+        )
+        workload = generate_workload(params)
+        num_events = len(workload) + sum(
+            1 for vm in workload if vm.departure is not None
+        )
+        warmup = workload[: spec.warmup_vms]
+        machines = [
+            MachineSpec(f"bench-pm-{i}", spec.host_cpus, spec.host_mem_gb)
+            for i in range(num_hosts)
+        ]
+        for policy in spec.policies:
+            arms = {}
+            for kernel in KERNELS:
+                metrics = MetricsRegistry()
+                sim = VectorSimulation(
+                    machines, policy=policy, kernel=kernel, metrics=metrics
+                )
+                sim.run(warmup)
+                t0 = perf_counter()
+                result = sim.run(workload)
+                wall_s = perf_counter() - t0
+                select = metrics.timer("select_s")
+                arms[kernel] = {
+                    "result": result,
+                    "payload": {
+                        "wall_s": wall_s,
+                        "events_per_s": num_events / wall_s,
+                        "select_mean_us": (
+                            1e6 * select.total_s / select.count if select.count else 0.0
+                        ),
+                        "select_ops_per_s": select.rate,
+                    },
+                }
+            if spec.verify:
+                fingerprints = {
+                    k: _result_fingerprint(a["result"]) for k, a in arms.items()
+                }
+                first, *rest = fingerprints.values()
+                if any(fp != first for fp in rest):
+                    raise BenchError(
+                        f"kernels disagree on hosts={num_hosts} policy={policy}; "
+                        "run `repro audit` to localize the divergence"
+                    )
+            result = arms["incremental"]["result"]
+            speedup = (
+                arms["naive"]["payload"]["wall_s"]
+                / arms["incremental"]["payload"]["wall_s"]
+            )
+            cells.append(
+                {
+                    "num_hosts": num_hosts,
+                    "policy": policy,
+                    "num_events": num_events,
+                    "placed": len(result.placements),
+                    "rejected": len(result.rejections),
+                    "pooled": result.pooled_placements,
+                    "verified": spec.verify,
+                    "kernels": {k: a["payload"] for k, a in arms.items()},
+                    "speedup": speedup,
+                }
+            )
+            say(
+                f"hosts={num_hosts:6d} {policy:20s} "
+                f"incremental {arms['incremental']['payload']['events_per_s']:9.0f} ev/s  "
+                f"naive {arms['naive']['payload']['events_per_s']:9.0f} ev/s  "
+                f"speedup {speedup:.2f}x"
+            )
+    headline = max(
+        cells,
+        key=lambda c: (c["num_hosts"], c["policy"] == "progress", c["speedup"]),
+    )
+    return {
+        "schema": SCHEMA,
+        "grid": {
+            "hosts": list(spec.hosts),
+            "policies": list(spec.policies),
+            "provider": spec.provider,
+            "seed": spec.seed,
+            "vms_per_host": spec.vms_per_host,
+            "host_cpus": spec.host_cpus,
+            "host_mem_gb": spec.host_mem_gb,
+            "warmup_vms": spec.warmup_vms,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "headline": {
+            "num_hosts": headline["num_hosts"],
+            "policy": headline["policy"],
+            "speedup": headline["speedup"],
+            "events_per_s": headline["kernels"]["incremental"]["events_per_s"],
+        },
+        "cells": cells,
+    }
+
+
+def compare_engine_bench(
+    current: dict, baseline: dict, tolerance: float = 0.5
+) -> list[str]:
+    """Compare a fresh run against a committed baseline.
+
+    Only **speedup ratios** are compared (per matching cell, and the
+    headline), each required to reach ``baseline * (1 - tolerance)``;
+    absolute events/sec are reported nowhere near a threshold because
+    they track the machine, not the code.  Returns a list of problem
+    descriptions — empty means the run holds the baseline's contract.
+    """
+    if not 0 <= tolerance < 1:
+        raise BenchError(f"tolerance must be in [0, 1), got {tolerance}")
+    for payload, name in ((current, "current"), (baseline, "baseline")):
+        if payload.get("schema") != SCHEMA:
+            raise BenchError(
+                f"{name} payload has schema {payload.get('schema')!r}, "
+                f"expected {SCHEMA}"
+            )
+    problems = []
+    baseline_cells = {
+        (c["num_hosts"], c["policy"]): c for c in baseline["cells"]
+    }
+    matched = 0
+    for cell in current["cells"]:
+        ref = baseline_cells.get((cell["num_hosts"], cell["policy"]))
+        if ref is None:
+            continue
+        matched += 1
+        floor = ref["speedup"] * (1 - tolerance)
+        if cell["speedup"] < floor:
+            problems.append(
+                f"hosts={cell['num_hosts']} policy={cell['policy']}: "
+                f"speedup {cell['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {ref['speedup']:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+    if not matched:
+        problems.append(
+            "no benchmark cell matches the baseline grid "
+            f"(baseline has {sorted(baseline_cells)})"
+        )
+    return problems

@@ -13,7 +13,11 @@ Exposes the library's main workflows without writing Python:
 * ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment;
 * ``slackvm audit`` — differential replay of one workload through both
   engines (object + vectorized), reporting the first divergence and
-  dumping decision records + metrics as JSON.
+  dumping decision records + metrics as JSON;
+* ``slackvm bench engine`` — placement-kernel micro-benchmark
+  (events/sec vs cluster size, incremental vs naive kernel, every
+  policy), optionally checked against a committed baseline
+  (``--check BENCH_engine.json``).
 
 Every subcommand is deterministic given ``--seed``.  The same CLI is
 installed both as ``slackvm`` and as ``repro`` (and runs via
@@ -149,6 +153,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSON dump path (metrics + decision records)")
     au.add_argument("--no-decisions", action="store_true",
                     help="omit the per-arrival decision records from the dump")
+
+    be = sub.add_parser(
+        "bench",
+        help="micro-benchmark the engines (currently: the placement kernel)",
+    )
+    be.add_argument("target", choices=("engine",),
+                    help="what to benchmark (engine: incremental vs naive "
+                         "placement kernel)")
+    be.add_argument("--hosts", default="500,2000,5000",
+                    help="comma-separated cluster sizes (default 500,2000,5000)")
+    be.add_argument("--policies", default="all",
+                    help="comma-separated policy subset, or 'all' (default)")
+    be.add_argument("--provider", choices=sorted(PROVIDERS), default="azure")
+    be.add_argument("--seed", type=int, default=7)
+    be.add_argument("--vms-per-host", type=float, default=4.0,
+                    help="workload target population per host (default 4)")
+    be.add_argument("--machine", type=_machine, default=_machine("48:192"),
+                    help="host spec as CPUS:MEM_GB (default 48:192)")
+    be.add_argument("--no-verify", action="store_true",
+                    help="skip the kernel-equality check on each cell")
+    be.add_argument("-o", "--out", default=None,
+                    help="write the JSON results (e.g. BENCH_engine.json)")
+    be.add_argument("--check", default=None,
+                    help="baseline JSON to compare speedups against "
+                         "(exit 1 when a cell falls below it)")
+    be.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional speedup regression vs the "
+                         "baseline (default 0.5: half the baseline ratio)")
     return parser
 
 
@@ -304,6 +336,50 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import EngineBenchSpec, compare_engine_bench, run_engine_bench
+    from repro.simulator.vectorpool import POLICIES as _ALL_POLICIES
+
+    policies = (
+        tuple(_ALL_POLICIES)
+        if args.policies == "all"
+        else tuple(p for p in args.policies.split(",") if p)
+    )
+    try:
+        hosts = tuple(int(h) for h in args.hosts.split(",") if h)
+    except ValueError:
+        raise SystemExit(f"invalid --hosts {args.hosts!r}: use e.g. 500,2000,5000")
+    spec = EngineBenchSpec(
+        hosts=hosts,
+        policies=policies,
+        provider=args.provider,
+        seed=args.seed,
+        vms_per_host=args.vms_per_host,
+        host_cpus=args.machine.cpus,
+        host_mem_gb=args.machine.mem_gb,
+        verify=not args.no_verify,
+    )
+    payload = run_engine_bench(spec, progress=print)
+    head = payload["headline"]
+    print(f"headline: hosts={head['num_hosts']} policy={head['policy']} "
+          f"{head['events_per_s']:.0f} ev/s, {head['speedup']:.2f}x over naive")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote results to {args.out}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        problems = compare_engine_bench(payload, baseline, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.check}, "
+              f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "generate": _cmd_generate,
@@ -312,6 +388,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "testbed": _cmd_testbed,
     "audit": _cmd_audit,
+    "bench": _cmd_bench,
 }
 
 

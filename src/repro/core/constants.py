@@ -1,0 +1,42 @@
+"""Scoring and admission constants shared across every engine layer.
+
+Both :mod:`repro.scheduling.baselines` (object path) and
+:mod:`repro.simulator.vectorpool` (vector path) blend the same score
+terms, and both engines apply the same admission slop; the equivalence
+and golden-trace suites assert the two engines place identically, so
+each value must come from one definition — duplicating them was a
+silent-drift hazard.
+
+This module lives in :mod:`repro.core` (import-dependency-free) so
+low-level modules like :mod:`repro.localsched.agent` can use the shared
+values without pulling in the scheduling package;
+:mod:`repro.scheduling.constants` re-exports everything for the
+historical import path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TIEBREAK_WEIGHT", "BESTFIT_BLEND", "CAPACITY_EPSILON", "FIRST_FIT_CHUNK"]
+
+#: Weight of the first-fit tiebreak relative to the primary metric.  The
+#: primary scores are O(1); host ranks are O(cluster size), so the
+#: tiebreak must be scaled far below any meaningful score difference.
+TIEBREAK_WEIGHT = 1e-9
+
+#: Weight of the best-fit packing term in the combined policy (§VII-B2):
+#: large enough to participate in packing, small enough that strong
+#: progress differences still dominate.
+BESTFIT_BLEND = 0.2
+
+#: Absolute slop applied to memory-capacity comparisons in *both*
+#: engines (``m / mem_ratio <= free_mem + CAPACITY_EPSILON``).  Must be
+#: a single shared value: the engines' admission verdicts are compared
+#: bit-for-bit by the golden-trace conformance suite, so a drifted
+#: epsilon would silently split their decisions.
+CAPACITY_EPSILON = 1e-9
+
+#: Hosts examined per block when the vector engine short-circuits a
+#: first-fit scan (it stops at the first block containing a feasible
+#: host).  Purely a performance knob: block evaluation is elementwise
+#: per host, so any chunk size yields identical placements.
+FIRST_FIT_CHUNK = 1024

@@ -139,6 +139,7 @@ class DynamicLevelCluster(VectorCluster):
             self.alloc_mem[host] += own_mem
             self._placements[vm.vm_id] = (host, li, v, m)
             self._requests[vm.vm_id] = vm
+            self._touch(host)  # keep the inherited score caches coherent
             return PlacementRecord(vm.vm_id, host, vm.level.ratio, pooled=False)
         if self.config.pooling and vm.level.ratio > 1:
             best = None
@@ -159,6 +160,7 @@ class DynamicLevelCluster(VectorCluster):
                 self.alloc_mem[host] += m / self.mem_ratios[best]
                 self._placements[vm.vm_id] = (host, best, v, m)
                 self._requests[vm.vm_id] = vm
+                self._touch(host)
                 return PlacementRecord(
                     vm.vm_id, host, float(self.ratios[best]), pooled=True
                 )
@@ -185,6 +187,7 @@ class DynamicLevelCluster(VectorCluster):
         self.alloc_mem[host] -= m / self.mem_ratios[li]
         if self.alloc_mem[host] < 1e-9:
             self.alloc_mem[host] = 0.0
+        self._touch(host)
 
 
 class DynamicLevelSimulation:

@@ -28,6 +28,7 @@ from repro.hardware.machine import MachineSpec
 from repro.hardware.topology import Topology
 from repro.localsched.allocator import CoreAllocator
 from repro.localsched.drivers import HypervisorDriver, NullDriver
+from repro.core.constants import CAPACITY_EPSILON
 from repro.localsched.vnode import VNode
 from repro.obs.records import AdmissionRecord, DecisionRecorder
 
@@ -207,7 +208,7 @@ class LocalScheduler:
             else VNode("probe", vm.level).growth_for(vm)
         )
         own_mem = vm.level.physical_mem_for(vm.spec.mem_gb)
-        if growth <= self._alloc.num_free and own_mem <= self.free_mem + 1e-9:
+        if growth <= self._alloc.num_free and own_mem <= self.free_mem + CAPACITY_EPSILON:
             return DeployPlan(vm.vm_id, vm.level.ratio, growth, pooled=False)
         if self.config.pooling and vm.level.ratio > 1:
             host = self._pooling_candidate(vm)
@@ -228,7 +229,7 @@ class LocalScheduler:
             for ratio, node in self._vnodes.items()
             if 1 < ratio < vm.level.ratio
             and node.vcpu_slack >= vm.spec.vcpus
-            and node.level.physical_mem_for(vm.spec.mem_gb) <= self.free_mem + 1e-9
+            and node.level.physical_mem_for(vm.spec.mem_gb) <= self.free_mem + CAPACITY_EPSILON
         ]
         if not candidates:
             return None
@@ -296,7 +297,7 @@ class LocalScheduler:
         hosted = node.remove_vm(vm_id)
         self.driver.destroy_vm(vm_id)
         self._mem_used -= node.level.physical_mem_for(hosted.mem_gb)
-        if self._mem_used < 1e-9:
+        if self._mem_used < CAPACITY_EPSILON:
             self._mem_used = 0.0
         excess = node.num_cpus - node.cpus_required()
         if excess:

@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
 from repro.core.config import SlackVMConfig
 from repro.core.errors import CapacityError
 from repro.core.types import VMRequest
@@ -64,6 +62,8 @@ class Rebalancer:
             vm = cluster.request_of(vm_id)
             cluster.remove(vm_id)
             feasible, _g, _o = cluster.feasibility(vm)
+            # Masking the scratch view is fine: the next feasibility()
+            # call overwrites it entirely.
             feasible[source] = False
             if not feasible.any():
                 # Rollback: restore this VM and all prior moves.
@@ -72,8 +72,7 @@ class Rebalancer:
                     cluster.remove(moved_vm.vm_id)
                     cluster.deploy(moved_vm, origin)
                 return None
-            scores = np.where(feasible, cluster.scores(vm, self.policy), -np.inf)
-            target = int(np.argmax(scores))
+            target = cluster.select_best(feasible, vm, self.policy)
             cluster.deploy(vm, target)
             done.append((vm, source))
             moves.append(Migration(vm_id=vm_id, source=source, target=target))
@@ -157,10 +156,7 @@ class MigratingSimulation:
                     if self.fail_fast:
                         break
                 else:
-                    scores = np.where(
-                        feasible, cluster.scores(vm, self.policy), -np.inf
-                    )
-                    host = int(np.argmax(scores))
+                    host = cluster.select_best(feasible, vm, self.policy)
                     record = cluster.deploy(vm, host)
                     pooled += record.pooled
                     placements[vm.vm_id] = record

@@ -143,6 +143,16 @@ class Timer:
             self.observe(time.perf_counter() - self._started)
             self._started = None
 
+    @property
+    def rate(self) -> float:
+        """Observations per accumulated second (0 while idle).
+
+        For a per-op timer this is the op throughput *inside* the
+        timed region — e.g. the ``select_s`` timer's rate is selection
+        decisions/sec excluding everything around them.
+        """
+        return self.count / self.total_s if self.total_s > 0 else 0.0
+
     def snapshot(self) -> dict:
         return {
             "kind": "timer",

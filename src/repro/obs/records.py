@@ -36,6 +36,7 @@ __all__ = [
     "MemoryRecorder",
     "JsonlRecorder",
     "NULL_RECORDER",
+    "load_jsonl_records",
 ]
 
 #: Admission plan kinds (the three outcomes of §V admission).
@@ -207,3 +208,74 @@ class JsonlRecorder(DecisionRecorder):
 
 #: Shared default recorder; engines use it when none is supplied.
 NULL_RECORDER = NullRecorder()
+
+
+def _host_from_dict(row: dict) -> HostDecision:
+    return HostDecision(
+        host=int(row["host"]),
+        eligible=bool(row["eligible"]),
+        filters={str(k): bool(v) for k, v in row["filters"].items()},
+        weigher_scores={
+            str(k): float(v) for k, v in row.get("weigher_scores", {}).items()
+        },
+        score=None if row.get("score") is None else float(row["score"]),
+    )
+
+
+def _decision_from_dict(row: dict) -> DecisionRecord:
+    return DecisionRecord(
+        seq=int(row["seq"]),
+        time=float(row["time"]),
+        vm_id=str(row["vm_id"]),
+        scheduler=str(row["scheduler"]),
+        hosts=tuple(_host_from_dict(h) for h in row["hosts"]),
+        chosen=None if row.get("chosen") is None else int(row["chosen"]),
+        admission=str(row["admission"]),
+        hosted_ratio=(
+            None if row.get("hosted_ratio") is None else float(row["hosted_ratio"])
+        ),
+        growth=None if row.get("growth") is None else int(row["growth"]),
+    )
+
+
+def _admission_from_dict(row: dict) -> AdmissionRecord:
+    return AdmissionRecord(
+        vm_id=str(row["vm_id"]),
+        host=str(row["host"]),
+        hosted_ratio=float(row["hosted_ratio"]),
+        growth=int(row["growth"]),
+        pooled=bool(row["pooled"]),
+    )
+
+
+def load_jsonl_records(
+    path: str | Path,
+) -> tuple[list[DecisionRecord], list[AdmissionRecord]]:
+    """Parse a :class:`JsonlRecorder` stream back into record objects.
+
+    The inverse of the recorder's ``_emit``: lines are dispatched on the
+    ``"record"`` discriminator, unknown kinds raise ``ValueError`` (a
+    corrupt or foreign file should fail loudly, not load partially).
+    The round-trip is exact for every field the records carry, which is
+    what lets the golden-trace conformance suite replay a frozen stream
+    through :func:`repro.obs.audit.diff_decision_streams`.
+    """
+    decisions: list[DecisionRecord] = []
+    admissions: list[AdmissionRecord] = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.pop("record", None)
+            if kind == "decision":
+                decisions.append(_decision_from_dict(row))
+            elif kind == "admission":
+                admissions.append(_admission_from_dict(row))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown record kind {kind!r}"
+                )
+    return decisions, admissions

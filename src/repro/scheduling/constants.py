@@ -1,22 +1,17 @@
 """Scoring constants shared by the object and vectorized engines.
 
-Both :mod:`repro.scheduling.baselines` (object path) and
-:mod:`repro.simulator.vectorpool` (vector path) blend the same score
-terms; the equivalence tests assert the two engines place identically,
-so the blend weights must come from one definition — duplicating them
-was a silent-drift hazard.
+The canonical definitions live in :mod:`repro.core.constants` (so that
+modules below the scheduling layer can import them without a package
+cycle); this module keeps the historical import path alive.
 """
 
 from __future__ import annotations
 
-__all__ = ["TIEBREAK_WEIGHT", "BESTFIT_BLEND"]
+from repro.core.constants import (
+    BESTFIT_BLEND,
+    CAPACITY_EPSILON,
+    FIRST_FIT_CHUNK,
+    TIEBREAK_WEIGHT,
+)
 
-#: Weight of the first-fit tiebreak relative to the primary metric.  The
-#: primary scores are O(1); host ranks are O(cluster size), so the
-#: tiebreak must be scaled far below any meaningful score difference.
-TIEBREAK_WEIGHT = 1e-9
-
-#: Weight of the best-fit packing term in the combined policy (§VII-B2):
-#: large enough to participate in packing, small enough that strong
-#: progress differences still dominate.
-BESTFIT_BLEND = 0.2
+__all__ = ["TIEBREAK_WEIGHT", "BESTFIT_BLEND", "CAPACITY_EPSILON", "FIRST_FIT_CHUNK"]

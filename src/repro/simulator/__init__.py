@@ -16,8 +16,14 @@ from repro.simulator.metrics import (
     time_averaged_unallocated,
     unallocated_at_peak,
 )
+from repro.simulator.refkernel import naive_feasibility, naive_scores
 from repro.simulator.sizing import SizingResult, demand_lower_bound, minimal_cluster
-from repro.simulator.vectorpool import POLICIES, VectorCluster, VectorSimulation
+from repro.simulator.vectorpool import (
+    KERNELS,
+    POLICIES,
+    VectorCluster,
+    VectorSimulation,
+)
 
 __all__ = [
     "Event",
@@ -35,6 +41,9 @@ __all__ = [
     "VectorCluster",
     "VectorSimulation",
     "POLICIES",
+    "KERNELS",
+    "naive_feasibility",
+    "naive_scores",
     "UnallocatedShares",
     "unallocated_at_peak",
     "time_averaged_unallocated",

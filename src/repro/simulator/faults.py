@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
 from repro.core.config import SlackVMConfig
 from repro.core.errors import SimulationError
 from repro.core.types import VMRequest
@@ -84,11 +82,7 @@ class FaultySimulation:
         victims = [cluster.request_of(vm_id) for vm_id in cluster.vms_on(host)]
         for vm in victims:
             cluster.remove(vm.vm_id)
-        # Kill the host: no capacity left, nothing can land there.  Use
-        # an epsilon rather than zero so ratio-based scores stay finite
-        # (the capacity filter already excludes the host regardless).
-        cluster.cap_cpu[host] = 1e-12
-        cluster.cap_mem[host] = 1e-12
+        cluster.kill_host(host)
         self.report.failed_hosts.append(host)
         # Victims re-enter through the scheduler, largest first (the
         # hardest to place; a classic recovery ordering).
@@ -97,8 +91,7 @@ class FaultySimulation:
         ):
             feasible, _g, _o = cluster.feasibility(vm)
             if feasible.any():
-                scores = np.where(feasible, cluster.scores(vm, self.policy), -np.inf)
-                target = int(np.argmax(scores))
+                target = cluster.select_best(feasible, vm, self.policy)
                 record = cluster.deploy(vm, target)
                 placements[vm.vm_id] = record
                 self.report.recovered_vms += 1
@@ -126,10 +119,7 @@ class FaultySimulation:
                 if not feasible.any():
                     rejections.append(vm.vm_id)
                 else:
-                    scores = np.where(
-                        feasible, cluster.scores(vm, self.policy), -np.inf
-                    )
-                    host = int(np.argmax(scores))
+                    host = cluster.select_best(feasible, vm, self.policy)
                     record = cluster.deploy(vm, host)
                     pooled += record.pooled
                     placements[vm.vm_id] = record

@@ -1,0 +1,107 @@
+"""Unit tests for the ``repro bench engine`` harness (`repro.bench`)."""
+
+import pytest
+
+from repro.bench import EngineBenchSpec, compare_engine_bench, run_engine_bench
+from repro.bench.engine import SCHEMA, BenchError
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # Tiny grid: enough to exercise generation, both kernels, the
+    # per-cell verification and the payload shape.
+    spec = EngineBenchSpec(
+        hosts=(12,), policies=("progress", "first_fit"), vms_per_host=2.0,
+        host_cpus=16, host_mem_gb=64.0, warmup_vms=5,
+    )
+    return run_engine_bench(spec)
+
+
+def test_payload_shape(payload):
+    assert payload["schema"] == SCHEMA
+    assert len(payload["cells"]) == 2
+    for cell in payload["cells"]:
+        assert cell["verified"]
+        assert cell["num_events"] > 0
+        assert set(cell["kernels"]) == {"incremental", "naive"}
+        for arm in cell["kernels"].values():
+            assert arm["wall_s"] > 0
+            assert arm["events_per_s"] > 0
+            assert arm["select_mean_us"] >= 0
+            assert arm["select_ops_per_s"] >= 0
+        assert cell["speedup"] == pytest.approx(
+            cell["kernels"]["naive"]["wall_s"]
+            / cell["kernels"]["incremental"]["wall_s"]
+        )
+    head = payload["headline"]
+    assert head["policy"] in ("progress", "first_fit")
+    assert head["num_hosts"] == 12
+
+
+def test_headline_prefers_progress_at_largest_size(payload):
+    assert payload["headline"]["policy"] == "progress"
+
+
+def test_progress_callback_gets_one_line_per_cell():
+    lines = []
+    spec = EngineBenchSpec(hosts=(8,), policies=("first_fit",),
+                           vms_per_host=2.0, warmup_vms=0)
+    run_engine_bench(spec, progress=lines.append)
+    assert len(lines) == 1
+    assert "first_fit" in lines[0]
+
+
+def test_spec_validation():
+    with pytest.raises(BenchError):
+        EngineBenchSpec(policies=("nope",))
+    with pytest.raises(BenchError):
+        EngineBenchSpec(provider="nope")
+    with pytest.raises(BenchError):
+        EngineBenchSpec(hosts=())
+    with pytest.raises(BenchError):
+        EngineBenchSpec(hosts=(0,))
+
+
+def _fake(cells):
+    return {
+        "schema": SCHEMA,
+        "cells": [
+            {"num_hosts": n, "policy": p, "speedup": s} for n, p, s in cells
+        ],
+    }
+
+
+def test_compare_passes_within_tolerance():
+    baseline = _fake([(500, "progress", 3.0)])
+    current = _fake([(500, "progress", 1.6)])
+    assert compare_engine_bench(current, baseline, tolerance=0.5) == []
+
+
+def test_compare_flags_regression():
+    baseline = _fake([(500, "progress", 3.0)])
+    current = _fake([(500, "progress", 1.4)])
+    problems = compare_engine_bench(current, baseline, tolerance=0.5)
+    assert len(problems) == 1
+    assert "progress" in problems[0]
+
+
+def test_compare_ignores_cells_missing_from_baseline():
+    baseline = _fake([(500, "progress", 3.0)])
+    current = _fake([(500, "progress", 3.0), (9999, "best_fit", 0.1)])
+    assert compare_engine_bench(current, baseline) == []
+
+
+def test_compare_requires_at_least_one_matching_cell():
+    baseline = _fake([(500, "progress", 3.0)])
+    current = _fake([(123, "worst_fit", 5.0)])
+    problems = compare_engine_bench(current, baseline)
+    assert len(problems) == 1
+    assert "no benchmark cell matches" in problems[0]
+
+
+def test_compare_rejects_schema_mismatch_and_bad_tolerance():
+    good = _fake([(500, "progress", 3.0)])
+    with pytest.raises(BenchError):
+        compare_engine_bench({"schema": 999, "cells": []}, good)
+    with pytest.raises(BenchError):
+        compare_engine_bench(good, good, tolerance=1.5)

@@ -1,0 +1,99 @@
+"""Edge cases for host-failure injection (:mod:`repro.simulator.faults`).
+
+The corners a random schedule rarely lands on exactly: a failure at
+``t=0`` (before any arrival), the same host failing twice, a failure
+arriving after every VM has already departed, and the guarantee that an
+*empty* failure list reproduces the plain vector engine event-for-event.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OversubscriptionLevel, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.simulator import VectorSimulation
+from repro.simulator.faults import FaultySimulation, HostFailure
+
+NUM_HOSTS = 3
+
+
+def _machines():
+    return [MachineSpec(f"pm-{i}", 16, 64.0) for i in range(NUM_HOSTS)]
+
+
+def _vm(i, arrival=0.0, departure=None, vcpus=2, mem=4.0, ratio=2.0):
+    return VMRequest(
+        vm_id=f"vm-{i:03d}",
+        spec=VMSpec(vcpus, mem),
+        level=OversubscriptionLevel(ratio),
+        arrival=arrival,
+        departure=departure,
+    )
+
+
+def _workload(n=12):
+    return [_vm(i, arrival=float(i), departure=float(i) + 30.0) for i in range(n)]
+
+
+def test_failure_at_time_zero_precedes_every_arrival():
+    sim = FaultySimulation(_machines(), [HostFailure(0.0, 0)])
+    result = sim.run(_workload())
+    assert sim.report.failed_hosts == [0]
+    # The host died before anything was placed: nothing to recover or
+    # lose, and no placement may ever name it.
+    assert sim.report.recovered_vms == 0
+    assert sim.report.lost_vms == []
+    assert all(p.host != 0 for p in result.placements.values())
+    assert result.capacity_cpu == pytest.approx((NUM_HOSTS - 1) * 16)
+
+
+def test_repeated_failure_of_same_host_is_harmless():
+    failures = [HostFailure(5.0, 1), HostFailure(8.0, 1)]
+    result = FaultySimulation(_machines(), failures).run(_workload())
+    # The second failure finds an already-dead, already-drained host:
+    # no victims, no capacity change, no crash.
+    assert all(p.host != 1 for p in result.placements.values())
+    assert result.capacity_cpu == pytest.approx((NUM_HOSTS - 1) * 16)
+    _, cpu, mem = result.timeline.as_arrays()
+    assert np.all(cpu >= -1e-9) and np.all(mem >= -1e-9)
+
+
+def test_failure_after_all_departures_has_no_victims():
+    workload = [_vm(i, arrival=float(i), departure=10.0 + i) for i in range(4)]
+    sim = FaultySimulation(_machines(), [HostFailure(100.0, 2)])
+    result = sim.run(workload)
+    # The failure postdates the last event, so it fires in the trailing
+    # sweep against an empty host.
+    assert sim.report.failed_hosts == [2]
+    assert sim.report.recovered_vms == 0
+    assert sim.report.lost_vms == []
+    assert len(result.placements) == 4
+    assert result.capacity_cpu == pytest.approx((NUM_HOSTS - 1) * 16)
+
+
+@pytest.mark.parametrize("policy", ["progress", "first_fit"])
+def test_empty_failure_list_matches_plain_vector_simulation(policy):
+    workload = _workload(20)
+    plain = VectorSimulation(_machines(), policy=policy).run(workload)
+    faulty = FaultySimulation(_machines(), [], policy=policy).run(workload)
+    assert {k: (p.host, p.hosted_ratio, p.pooled) for k, p in faulty.placements.items()} \
+        == {k: (p.host, p.hosted_ratio, p.pooled) for k, p in plain.placements.items()}
+    assert faulty.rejections == plain.rejections
+    assert faulty.pooled_placements == plain.pooled_placements
+    assert faulty.timeline.times == plain.timeline.times
+    assert faulty.timeline.alloc_cpu == plain.timeline.alloc_cpu
+    assert faulty.timeline.alloc_mem == plain.timeline.alloc_mem
+
+
+def test_failure_of_fully_loaded_cluster_loses_unplaceable_victims():
+    # Saturate a 2-host cluster, then kill one host: some victims
+    # cannot be re-placed and must be reported lost, not leaked.
+    machines = [MachineSpec(f"pm-{i}", 4, 16.0) for i in range(2)]
+    workload = [_vm(i, arrival=float(i), vcpus=2, mem=4.0, ratio=1.0) for i in range(4)]
+    sim = FaultySimulation(machines, [HostFailure(50.0, 0)], config=SlackVMConfig())
+    result = sim.run(workload)
+    assert len(result.placements) == 4
+    assert sim.report.failed_hosts == [0]
+    assert sim.report.recovered_vms + len(sim.report.lost_vms) > 0
+    # Every lost VM had been placed, and none remains on the dead host.
+    assert set(sim.report.lost_vms) <= set(result.placements)

@@ -1,0 +1,200 @@
+"""Property tests: the incremental kernel is bit-identical to the naive one.
+
+Two clusters — one per kernel — are driven through the *same* random
+operation sequence (arrivals, departures, host failures), and after
+every step the incremental kernel's ``feasibility()``/``scores()``/
+``select()`` must equal the retained naive reference **element-wise and
+bit-exactly** (``np.array_equal``, no tolerance): the rewrite's whole
+correctness argument is that it reorders bookkeeping, never arithmetic.
+
+Directed cases cover the states property shrinking tends to miss:
+all-empty, all-full, and dead-host clusters (via the same
+``kill_host`` drain that :class:`FaultySimulation` uses).
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import OversubscriptionLevel, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.simulator import naive_feasibility, naive_scores
+from repro.simulator.vectorpool import POLICIES, VectorCluster
+
+RATIOS = (1.0, 2.0, 3.0)
+
+
+def _vm(i: int, vcpus: int, mem: float, ratio: float) -> VMRequest:
+    return VMRequest(
+        vm_id=f"vm-{i:03d}",
+        spec=VMSpec(vcpus, mem),
+        level=OversubscriptionLevel(ratio),
+    )
+
+
+def _clusters(machines):
+    cfg = SlackVMConfig()
+    return (
+        VectorCluster(machines, cfg, kernel="incremental"),
+        VectorCluster(machines, cfg, kernel="naive"),
+    )
+
+
+def _naive_select(cluster, vm, policy):
+    feasible, _g, _o = naive_feasibility(cluster, vm)
+    if not feasible.any():
+        return None
+    masked = np.where(feasible, naive_scores(cluster, vm, policy), -np.inf)
+    return int(np.argmax(masked))
+
+
+def _assert_probe_equal(inc, ref, vm, policy):
+    feas_i, growth_i, own_i = (a.copy() for a in inc.feasibility(vm))
+    feas_r, growth_r, own_r = naive_feasibility(ref, vm)
+    assert np.array_equal(feas_i, feas_r), vm
+    assert np.array_equal(growth_i, growth_r), vm
+    assert np.array_equal(own_i, own_r), vm
+    scores_i = inc.scores(vm, policy).copy()
+    scores_r = naive_scores(ref, vm, policy)
+    # Bit-exact, not approx: the kernels must share every rounding.
+    assert np.array_equal(scores_i, scores_r), vm
+    assert inc.select(vm, policy) == _naive_select(ref, vm, policy), vm
+
+
+@st.composite
+def operation_sequence(draw):
+    num_hosts = draw(st.integers(min_value=1, max_value=8))
+    machines = [
+        MachineSpec(
+            f"pm-{i}",
+            draw(st.sampled_from([4, 8, 16])),
+            float(draw(st.sampled_from([16, 32, 64]))),
+        )
+        for i in range(num_hosts)
+    ]
+    num_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for i in range(num_ops):
+        kind = draw(
+            st.sampled_from(["arrive", "arrive", "arrive", "depart", "kill"])
+        )
+        if kind == "arrive":
+            ops.append(
+                (
+                    "arrive",
+                    _vm(
+                        i,
+                        draw(st.sampled_from([1, 2, 4, 8])),
+                        float(draw(st.sampled_from([1, 2, 4, 8, 16]))),
+                        draw(st.sampled_from(RATIOS)),
+                    ),
+                )
+            )
+        elif kind == "depart":
+            ops.append(("depart", draw(st.integers(min_value=0, max_value=10**6))))
+        else:
+            ops.append(("kill", draw(st.integers(min_value=0, max_value=num_hosts - 1))))
+    probe = _vm(
+        10**6,
+        draw(st.sampled_from([1, 2, 4])),
+        float(draw(st.sampled_from([1, 2, 8]))),
+        draw(st.sampled_from(RATIOS)),
+    )
+    return machines, ops, probe
+
+
+@pytest.mark.slow
+@settings(max_examples=80, deadline=None)
+@given(case=operation_sequence(), policy=st.sampled_from(POLICIES))
+def test_kernels_agree_through_random_operation_sequences(case, policy):
+    machines, ops, probe = case
+    inc, ref = _clusters(machines)
+    dead: set[int] = set()
+    for op, arg in ops:
+        if op == "arrive":
+            _assert_probe_equal(inc, ref, arg, policy)
+            host = inc.select(arg, policy)
+            if host is not None:
+                inc.deploy(arg, host)
+                ref.deploy(arg, host)
+        elif op == "depart":
+            placed = inc.placed_vm_ids
+            if placed:
+                vm_id = placed[arg % len(placed)]
+                inc.remove(vm_id)
+                ref.remove(vm_id)
+        else:  # kill: drain like FaultySimulation._fail_host, then fail
+            if arg in dead:
+                continue
+            for vm_id in inc.vms_on(arg):
+                inc.remove(vm_id)
+                ref.remove(vm_id)
+            inc.kill_host(arg)
+            ref.kill_host(arg)
+            dead.add(arg)
+    _assert_probe_equal(inc, ref, probe, policy)
+    assert np.array_equal(inc.alloc_cpu, ref.alloc_cpu)
+    assert np.array_equal(inc.alloc_mem, ref.alloc_mem)
+    assert np.array_equal(inc.vnode_vcpus, ref.vnode_vcpus)
+    assert np.array_equal(inc.vnode_cpus, ref.vnode_cpus)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_kernels_agree_on_empty_cluster(policy):
+    machines = [MachineSpec(f"pm-{i}", 8, 32.0) for i in range(4)]
+    inc, ref = _clusters(machines)
+    for ratio in RATIOS:
+        _assert_probe_equal(inc, ref, _vm(0, 2, 4.0, ratio), policy)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_kernels_agree_on_full_cluster(policy):
+    machines = [MachineSpec(f"pm-{i}", 4, 8.0) for i in range(3)]
+    inc, ref = _clusters(machines)
+    i = 0
+    while True:
+        vm = _vm(i, 1, 1.0, 1.0)
+        host = inc.select(vm, policy)
+        assert host == _naive_select(ref, vm, policy)
+        if host is None:
+            break
+        inc.deploy(vm, host)
+        ref.deploy(vm, host)
+        i += 1
+    assert i > 0  # the loop genuinely filled the cluster
+    for ratio in RATIOS:
+        _assert_probe_equal(inc, ref, _vm(10**6, 1, 1.0, ratio), policy)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_kernels_agree_with_dead_hosts(policy):
+    machines = [MachineSpec(f"pm-{i}", 8, 32.0) for i in range(4)]
+    inc, ref = _clusters(machines)
+    for i in range(6):
+        vm = _vm(i, 2, 4.0, 2.0)
+        host = inc.select(vm, policy)
+        assert host is not None
+        inc.deploy(vm, host)
+        ref.deploy(vm, host)
+    for host in (0, 2):
+        for vm_id in inc.vms_on(host):
+            inc.remove(vm_id)
+            ref.remove(vm_id)
+        inc.kill_host(host)
+        ref.kill_host(host)
+    for ratio in RATIOS:
+        _assert_probe_equal(inc, ref, _vm(10**6, 2, 4.0, ratio), policy)
+
+
+def test_all_dead_cluster_rejects_everything():
+    machines = [MachineSpec(f"pm-{i}", 8, 32.0) for i in range(2)]
+    inc, ref = _clusters(machines)
+    for host in range(2):
+        inc.kill_host(host)
+        ref.kill_host(host)
+    for policy in POLICIES:
+        vm = _vm(0, 1, 1.0, 2.0)
+        assert inc.select(vm, policy) is None
+        assert _naive_select(ref, vm, policy) is None
+        _assert_probe_equal(inc, ref, vm, policy)
