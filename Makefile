@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-engine golden repro examples clean
+.PHONY: install test bench bench-engine golden repro examples clean lint typecheck
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,19 @@ test-fast:
 
 test-quick:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow" --ignore=tests/test_examples.py
+
+# Determinism & simulation-safety static analysis (rules R001-R008).
+# Exit codes: 0 clean, 1 new findings, 2 usage error.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src scripts --baseline lint-baseline.json
+
+# mypy --strict via the [tool.mypy] config in pyproject.toml (the
+# lenient modules are per-module overrides there).  Needs the `dev`
+# extra: pip install -e .[dev]
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		|| { echo "mypy not installed — pip install -e .[dev]"; exit 1; }
+	$(PYTHON) -m mypy -p repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

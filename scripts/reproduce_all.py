@@ -50,12 +50,12 @@ def main() -> None:
     population = 150 if args.fast else 500
     duration = 600.0 if args.fast else 1800.0
     seeds = (42,) if args.fast else (42, 7)
-    started = time.time()
+    started = time.perf_counter()
     sections: list[str] = ["# SlackVM reproduction report", ""]
 
     def add(title: str, body: str) -> None:
         sections.extend([f"## {title}", "", "```", body, "```", ""])
-        print(f"[{time.time() - started:6.1f}s] {title}")
+        print(f"[{time.perf_counter() - started:6.1f}s] {title}")
 
     t1 = {name: (r.mean_vcpus, r.mean_mem_gb)
           for name, r in ((n, table1_row(c)) for n, c in PROVIDERS.items())}
@@ -82,7 +82,7 @@ def main() -> None:
 
     out = Path(args.output)
     out.write_text("\n".join(sections), encoding="utf-8")
-    print(f"\nWrote {out} in {time.time() - started:.1f}s")
+    print(f"\nWrote {out} in {time.perf_counter() - started:.1f}s")
 
 
 if __name__ == "__main__":

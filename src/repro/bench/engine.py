@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.hardware.machine import MachineSpec
+from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry
 from repro.simulator.vectorpool import KERNELS, POLICIES, VectorSimulation
 from repro.workload.catalog import PROVIDERS
@@ -134,7 +135,7 @@ def run_engine_bench(
                 t0 = perf_counter()
                 result = sim.run(workload)
                 wall_s = perf_counter() - t0
-                select = metrics.timer("select_s")
+                select = metrics.timer(metric_names.SELECT_S)
                 arms[kernel] = {
                     "result": result,
                     "payload": {

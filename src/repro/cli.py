@@ -181,6 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--tolerance", type=float, default=0.5,
                     help="allowed fractional speedup regression vs the "
                          "baseline (default 0.5: half the baseline ratio)")
+
+    li = sub.add_parser(
+        "lint",
+        help="determinism & simulation-safety static analysis "
+             "(rules R001-R008; exit 0 clean, 1 new findings, 2 usage error)",
+    )
+    li.add_argument("paths", nargs="*",
+                    help="files/directories (default: src and scripts)")
+    li.add_argument("--format", choices=("text", "json"), default="text",
+                    dest="fmt", help="report format (default text)")
+    li.add_argument("--baseline", default=None,
+                    help="baseline JSON; its findings don't fail the run")
+    li.add_argument("--write-baseline", action="store_true",
+                    help="rewrite --baseline from the current findings")
+    li.add_argument("--rules", default=None,
+                    help="comma-separated rule subset (e.g. R001,R004)")
+    li.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
     return parser
 
 
@@ -380,6 +398,22 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.fmt]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "generate": _cmd_generate,
@@ -389,6 +423,7 @@ _COMMANDS = {
     "testbed": _cmd_testbed,
     "audit": _cmd_audit,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -16,7 +16,14 @@ historical import path.
 
 from __future__ import annotations
 
-__all__ = ["TIEBREAK_WEIGHT", "BESTFIT_BLEND", "CAPACITY_EPSILON", "FIRST_FIT_CHUNK"]
+__all__ = [
+    "TIEBREAK_WEIGHT",
+    "BESTFIT_BLEND",
+    "CAPACITY_EPSILON",
+    "FIRST_FIT_CHUNK",
+    "floats_equal",
+    "floats_differ",
+]
 
 #: Weight of the first-fit tiebreak relative to the primary metric.  The
 #: primary scores are O(1); host ranks are O(cluster size), so the
@@ -40,3 +47,21 @@ CAPACITY_EPSILON = 1e-9
 #: host).  Purely a performance knob: block evaluation is elementwise
 #: per host, so any chunk size yields identical placements.
 FIRST_FIT_CHUNK = 1024
+
+
+def floats_equal(a: float, b: float, eps: float = CAPACITY_EPSILON) -> bool:
+    """Tolerant float equality: ``|a - b| <= eps`` (absolute).
+
+    The shared replacement for ``==`` on float-typed scoring/capacity
+    expressions in the decision paths (lint rule R005).  Uses the same
+    :data:`CAPACITY_EPSILON` slop as the engines' admission
+    comparisons, so "equal" means "the engines could not tell them
+    apart".  Also works elementwise on numpy arrays (returns a bool
+    array in that case).
+    """
+    return abs(a - b) <= eps
+
+
+def floats_differ(a: float, b: float, eps: float = CAPACITY_EPSILON) -> bool:
+    """Tolerant float inequality — scalar negation of :func:`floats_equal`."""
+    return not floats_equal(a, b, eps)

@@ -1,0 +1,296 @@
+"""reprolint — determinism & simulation-safety static analysis.
+
+Usage (all equivalent)::
+
+    repro lint [paths ...] [options]
+    python -m repro.devtools.lint [paths ...] [options]
+
+With no paths, lints ``src`` and ``scripts`` under the current
+directory.  Options::
+
+    --format text|json    report style (default text)
+    --baseline PATH       subtract a committed baseline (see baseline.py)
+    --write-baseline      rewrite PATH from the current findings and exit
+    --rules R001,R004     run a subset of rules
+    --list-rules          print the rule table and exit
+
+Exit codes: **0** clean (modulo baseline), **1** new findings,
+**2** usage error (bad path/format/rule, malformed baseline).
+
+Suppression: non-determinism rules (R005–R008) honour a trailing
+``# reprolint: disable=R005`` pragma on the flagged line; the
+determinism rules R001–R004 ignore pragmas *and* baseline entries —
+those findings can only be fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.baseline import Baseline, BaselineError
+from repro.devtools.rules import (
+    DETERMINISM_RULES,
+    RULES,
+    Finding,
+    ImportMap,
+    ModuleContext,
+    Rule,
+    rule_table,
+)
+
+__all__ = ["Finding", "LintReport", "lint_paths", "main", "LintUsageError"]
+
+_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9, ]+)")
+
+
+class LintUsageError(Exception):
+    """Bad invocation (unknown rule, missing path, bad baseline): exit 2."""
+
+
+# ---------------------------------------------------------------------------
+# discovery & parsing
+# ---------------------------------------------------------------------------
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name for reporting and rule scoping.
+
+    Files under a ``src`` directory get their package-dotted name
+    (``src/repro/cli.py`` -> ``repro.cli``); anything else is rooted at
+    its top directory name (``scripts/regen_golden.py`` ->
+    ``scripts.regen_golden``).
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif len(parts) > 1:
+        parts = parts[-2:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Python files under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.add(path)
+        elif path.is_dir():
+            files.update(p for p in path.rglob("*.py"))
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def load_context(path: Path, root: Optional[Path] = None) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    try:
+        rel = path.relative_to(root or Path.cwd())
+    except ValueError:
+        rel = path
+    module = _module_name(rel)
+    return ModuleContext(
+        path=path,
+        rel_path=rel.as_posix(),
+        module=module,
+        tree=tree,
+        lines=source.splitlines(),
+        imports=ImportMap.collect(tree, module),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the pass
+# ---------------------------------------------------------------------------
+
+
+def _suppressed(finding: Finding, ctx: ModuleContext) -> bool:
+    """True when a same-line pragma disables this (non-determinism) rule."""
+    if finding.rule_id in DETERMINISM_RULES:
+        return False
+    if finding.line - 1 >= len(ctx.lines):
+        return False
+    match = _PRAGMA.search(ctx.lines[finding.line - 1])
+    if not match:
+        return False
+    codes = {c.strip() for c in match.group(1).split(",")}
+    return finding.rule_id in codes
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] = RULES,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Run the rule set over every Python file under ``paths``.
+
+    Findings come back sorted by (path, line, rule) and already
+    filtered through inline pragmas; baseline subtraction is the
+    caller's concern (see :class:`Baseline`).
+    """
+    ctxs = [load_context(p, root=root) for p in discover_files(paths)]
+    findings: list[Finding] = []
+    for ctx in ctxs:
+        for rule in rules:
+            if not rule.applies_to(ctx.module):
+                continue
+            for finding in rule.check(ctx):
+                if not _suppressed(finding, ctx):
+                    findings.append(finding)
+    for rule in rules:
+        findings.extend(rule.check_project(ctxs))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+class LintReport:
+    """Findings + baseline arithmetic + reporters."""
+
+    def __init__(self, findings: list[Finding], baseline: Optional[Baseline] = None):
+        self.findings = findings
+        self.baseline = baseline
+        self.new = baseline.filter_new(findings) if baseline else list(findings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_text(self) -> str:
+        lines = []
+        for f in self.new:
+            lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule_id} {f.message}")
+            lines.append(f"    hint: {f.hint}")
+        baselined = len(self.findings) - len(self.new)
+        summary = f"{len(self.new)} finding(s)"
+        if baselined:
+            summary += f" ({baselined} baselined occurrence(s) suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.new],
+            "baselined": len(self.findings) - len(self.new),
+            "counts": self._counts(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def _counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.new:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & simulation-safety static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src and scripts)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON; its findings don't fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset (e.g. R001,R004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> tuple[Rule, ...]:
+    if spec is None:
+        return RULES
+    wanted = {r.strip().upper() for r in spec.split(",") if r.strip()}
+    known = {r.rule_id for r in RULES}
+    unknown = wanted - known
+    if unknown or not wanted:
+        raise LintUsageError(
+            f"unknown rule id(s): {sorted(unknown) or spec!r}; "
+            f"known: {sorted(known)}"
+        )
+    return tuple(r for r in RULES if r.rule_id in wanted)
+
+
+def _default_paths() -> list[str]:
+    paths = [p for p in ("src", "scripts") if Path(p).is_dir()]
+    if not paths:
+        raise LintUsageError(
+            "no paths given and neither ./src nor ./scripts exists"
+        )
+    return paths
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return int(exc.code or 0)
+    if args.list_rules:
+        for rule_id, title, _hint in rule_table():
+            print(f"{rule_id}  {title}")
+        return 0
+    try:
+        rules = _select_rules(args.rules)
+        paths = args.paths or _default_paths()
+        findings = lint_paths(paths, rules=rules)
+        if args.write_baseline:
+            if not args.baseline:
+                raise LintUsageError("--write-baseline requires --baseline PATH")
+            Baseline.from_findings(findings).save(args.baseline)
+            print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+            return 0
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+    except (LintUsageError, BaselineError, OSError, SyntaxError) as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
+    report = LintReport(findings, baseline)
+    print(report.to_json() if args.fmt == "json" else report.to_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

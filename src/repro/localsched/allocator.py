@@ -89,9 +89,12 @@ class CoreAllocator:
             chosen = sorted(self._free)[:count]
             return self._take(chosen)
 
-        free = np.fromiter(self._free, dtype=int)
+        # Sorted materialization: the lexsort below breaks every tie on
+        # cpu id, so selection is order-independent — but the array must
+        # still never carry hash order into numpy (lint rule R004).
+        free = np.fromiter(sorted(self._free), dtype=int)
         anchor_list = list(anchor)
-        others = list(
+        others = sorted(
             set(range(self._topo.num_cpus)) - self._free - set(anchor_list)
         )
         # Distance from each free CPU to the nearest anchor CPU, and to
@@ -135,7 +138,7 @@ class CoreAllocator:
             chosen = sorted(self._free)[:count]
             return self._take(chosen)
 
-        free = np.fromiter(self._free, dtype=int)
+        free = np.fromiter(sorted(self._free), dtype=int)
         occ = list(occupied)
         if occ:
             far = self._dist[np.ix_(free, occ)].min(axis=1)

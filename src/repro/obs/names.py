@@ -1,0 +1,99 @@
+"""Registered metric names — the only strings the emit sites may use.
+
+Every ``metrics.counter(...)`` / ``gauge`` / ``histogram`` / ``timer``
+call site in the library must reference one of these constants instead
+of an inline string literal.  The static-analysis pass
+(:mod:`repro.devtools.lint`, rule R008) enforces this, which buys two
+properties production telemetry depends on:
+
+* **grep-ability** — every emit site of a metric is found by searching
+  for the constant, and renames are one-line changes;
+* **schema stability** — dashboards and the differential audit tooling
+  key on these names; a typo'd literal would silently fork a series.
+
+Adding a metric: define the constant here, add it to
+:data:`ALL_METRIC_NAMES`, then emit via the constant.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ARRIVALS",
+    "REJECTIONS",
+    "PLACEMENTS",
+    "POOLED",
+    "DEPARTURES",
+    "SELECT_S",
+    "CANDIDATES",
+    "FINAL_ALLOC_CPU",
+    "FINAL_ALLOC_MEM",
+    "RUNNER_CELLS_TOTAL",
+    "RUNNER_CELLS_SKIPPED",
+    "RUNNER_CELLS_DONE",
+    "RUNNER_CELLS_FAILED",
+    "RUNNER_CELL_SECONDS",
+    "RUNNER_SWEEP_WALL",
+    "RUNNER_THROUGHPUT_CELLS_PER_S",
+    "ALL_METRIC_NAMES",
+]
+
+# -- engine counters/timers (object + vector path, identical names) ----------
+
+#: Counter — one per ARRIVAL event processed.
+ARRIVALS = "arrivals"
+#: Counter — arrivals no host could admit.
+REJECTIONS = "rejections"
+#: Counter — successful deployments.
+PLACEMENTS = "placements"
+#: Counter — deployments admitted via §V-B pooling.
+POOLED = "pooled"
+#: Counter — departures of VMs that were actually placed.
+DEPARTURES = "departures"
+#: Timer — wall-clock spent inside host selection.
+SELECT_S = "select_s"
+#: Histogram — eligible candidate hosts per recorded decision.
+CANDIDATES = "candidates"
+#: Gauge — cluster-wide allocated CPUs after the last event.
+FINAL_ALLOC_CPU = "final_alloc_cpu"
+#: Gauge — cluster-wide allocated memory (GB) after the last event.
+FINAL_ALLOC_MEM = "final_alloc_mem"
+
+# -- sweep runner ------------------------------------------------------------
+
+#: Counter — cells in the sweep grid.
+RUNNER_CELLS_TOTAL = "runner.cells_total"
+#: Counter — cells satisfied by a resumed checkpoint.
+RUNNER_CELLS_SKIPPED = "runner.cells_skipped"
+#: Counter — cells completed by this invocation.
+RUNNER_CELLS_DONE = "runner.cells_done"
+#: Counter — cells that completed with a failure record.
+RUNNER_CELLS_FAILED = "runner.cells_failed"
+#: Histogram — per-cell wall-clock seconds.
+RUNNER_CELL_SECONDS = "runner.cell_seconds"
+#: Timer — whole-sweep wall clock.
+RUNNER_SWEEP_WALL = "runner.sweep_wall"
+#: Gauge — completed cells per second over the sweep.
+RUNNER_THROUGHPUT_CELLS_PER_S = "runner.throughput_cells_per_s"
+
+#: Every registered metric name; the R008 fixture tests and the
+#: registry round-trip test key off this set.
+ALL_METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        ARRIVALS,
+        REJECTIONS,
+        PLACEMENTS,
+        POOLED,
+        DEPARTURES,
+        SELECT_S,
+        CANDIDATES,
+        FINAL_ALLOC_CPU,
+        FINAL_ALLOC_MEM,
+        RUNNER_CELLS_TOTAL,
+        RUNNER_CELLS_SKIPPED,
+        RUNNER_CELLS_DONE,
+        RUNNER_CELLS_FAILED,
+        RUNNER_CELL_SECONDS,
+        RUNNER_SWEEP_WALL,
+        RUNNER_THROUGHPUT_CELLS_PER_S,
+    }
+)

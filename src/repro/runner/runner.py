@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.errors import RunnerError
+from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.results import STATUS_FAILED, STATUS_OK, CellResult, outcome_to_dict
@@ -182,8 +183,8 @@ def run_sweep(
     pending = [c for c in cells if c.key not in satisfied]
 
     if metrics.enabled:
-        metrics.counter("runner.cells_total").inc(total)
-        metrics.counter("runner.cells_skipped").inc(len(satisfied))
+        metrics.counter(metric_names.RUNNER_CELLS_TOTAL).inc(total)
+        metrics.counter(metric_names.RUNNER_CELLS_SKIPPED).inc(len(satisfied))
 
     started = time.perf_counter()
     completed = 0
@@ -196,10 +197,10 @@ def run_sweep(
         if checkpoint is not None:
             checkpoint.append(result)
         if metrics.enabled:
-            metrics.counter("runner.cells_done").inc()
+            metrics.counter(metric_names.RUNNER_CELLS_DONE).inc()
             if not result.ok:
-                metrics.counter("runner.cells_failed").inc()
-            metrics.histogram("runner.cell_seconds").observe(result.elapsed_s)
+                metrics.counter(metric_names.RUNNER_CELLS_FAILED).inc()
+            metrics.histogram(metric_names.RUNNER_CELL_SECONDS).observe(result.elapsed_s)
         if progress is not None:
             status = "ok" if result.ok else f"FAILED ({result.error['type']})"
             progress(
@@ -251,9 +252,9 @@ def run_sweep(
 
     elapsed = time.perf_counter() - started
     if metrics.enabled:
-        metrics.timer("runner.sweep_wall").observe(elapsed)
+        metrics.timer(metric_names.RUNNER_SWEEP_WALL).observe(elapsed)
         if elapsed > 0:
-            metrics.gauge("runner.throughput_cells_per_s").set(completed / elapsed)
+            metrics.gauge(metric_names.RUNNER_THROUGHPUT_CELLS_PER_S).set(completed / elapsed)
 
     ordered = {c.key: results[c.key] for c in cells if c.key in results}
     return SweepResult(

@@ -22,6 +22,7 @@ from repro.core.types import VMRequest
 from repro.hardware.machine import MachineSpec
 from repro.localsched.agent import LocalScheduler
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs import names as metric_names
 from repro.obs.records import (
     ADMISSION_GROWTH,
     ADMISSION_POOLED,
@@ -194,12 +195,12 @@ class Simulation:
                 else:
                     idx = self.scheduler.select(self.hosts, vm)
                 if measuring:
-                    self.metrics.timer("select_s").observe(perf_counter() - t0)
-                    self.metrics.counter("arrivals").inc()
+                    self.metrics.timer(metric_names.SELECT_S).observe(perf_counter() - t0)
+                    self.metrics.counter(metric_names.ARRIVALS).inc()
                 if idx is None:
                     rejections.append(vm.vm_id)
                     if measuring:
-                        self.metrics.counter("rejections").inc()
+                        self.metrics.counter(metric_names.REJECTIONS).inc()
                     if recording:
                         self._record(event, arrival_seq, decisions, None, None)
                     arrival_seq += 1
@@ -213,9 +214,9 @@ class Simulation:
                     )
                     alive.add(vm.vm_id)
                     if measuring:
-                        self.metrics.counter("placements").inc()
+                        self.metrics.counter(metric_names.PLACEMENTS).inc()
                         if placement.pooled:
-                            self.metrics.counter("pooled").inc()
+                            self.metrics.counter(metric_names.POOLED).inc()
                     if recording:
                         self._record(event, arrival_seq, decisions, idx, placement)
                     arrival_seq += 1
@@ -224,17 +225,17 @@ class Simulation:
                     self.hosts[placements[vm.vm_id].host].remove(vm.vm_id)
                     alive.discard(vm.vm_id)
                     if measuring:
-                        self.metrics.counter("departures").inc()
+                        self.metrics.counter(metric_names.DEPARTURES).inc()
             timeline.record(
                 event.time,
                 float(sum(h.allocated_cpus for h in self.hosts)),
                 float(sum(h.allocated_mem for h in self.hosts)),
             )
         if measuring:
-            self.metrics.gauge("final_alloc_cpu").set(
+            self.metrics.gauge(metric_names.FINAL_ALLOC_CPU).set(
                 float(sum(h.allocated_cpus for h in self.hosts))
             )
-            self.metrics.gauge("final_alloc_mem").set(
+            self.metrics.gauge(metric_names.FINAL_ALLOC_MEM).set(
                 float(sum(h.allocated_mem for h in self.hosts))
             )
         return SimulationResult(
@@ -258,7 +259,7 @@ class Simulation:
             hosted_ratio = placement.hosted_level.ratio
             growth = len(placement.new_cpus)
         if self.metrics.enabled:
-            self.metrics.histogram("candidates").observe(
+            self.metrics.histogram(metric_names.CANDIDATES).observe(
                 sum(d.eligible for d in decisions)
             )
         self.recorder.record_decision(

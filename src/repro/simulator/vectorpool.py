@@ -64,6 +64,7 @@ from repro.core.config import SlackVMConfig
 from repro.core.errors import CapacityError, ConfigError
 from repro.core.types import VMRequest
 from repro.hardware.machine import MachineSpec
+from repro.obs import names as metric_names
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.records import (
     ADMISSION_GROWTH,
@@ -80,6 +81,7 @@ from repro.scheduling.constants import (
     CAPACITY_EPSILON,
     FIRST_FIT_CHUNK,
     TIEBREAK_WEIGHT,
+    floats_differ,
 )
 from repro.simulator import refkernel
 from repro.simulator.engine import PlacementRecord, SimulationResult, Timeline
@@ -255,7 +257,13 @@ class VectorCluster:
         # With one memory ratio across every level (the common case) the
         # per-level pooling memory checks collapse into the own-level
         # one, enabling the fused max-slack pooling mask below.
-        self._uniform_mem = bool(np.all(self.mem_ratios == self.mem_ratios[0]))
+        # Exact equality is load-bearing here: the fused pooling mask
+        # reuses the own-level memory check for every stricter level,
+        # which is only bit-identical to the per-level loop when the
+        # ratios are *exactly* equal.
+        self._uniform_mem = bool(
+            np.all(self.mem_ratios == self.mem_ratios[0])  # reprolint: disable=R005
+        )
         # Python-float copies of the level constants: the scalar refresh
         # and accounting paths run entirely on python floats (the IEEE
         # arithmetic is identical, the interpreter overhead is not).
@@ -370,7 +378,7 @@ class VectorCluster:
         if len(self._dirty) * _BULK_REFRESH_FRACTION > self.num_hosts:
             self._refresh_all()
         else:
-            for j in self._dirty:
+            for j in sorted(self._dirty):
                 self._refresh_host(j)
         self._dirty.clear()
 
@@ -387,7 +395,7 @@ class VectorCluster:
         if len(self._cand_dirty) * _BULK_REFRESH_FRACTION > self.num_hosts:
             self._refresh_cand_all()
         else:
-            for j in self._cand_dirty:
+            for j in sorted(self._cand_dirty):
                 self._refresh_cand_host(j)
         self._cand_dirty.clear()
 
@@ -532,7 +540,7 @@ class VectorCluster:
     def _vm_level_index(self, vm: VMRequest) -> int:
         """Level index of a VM, validating the memory ratio too."""
         li = self.level_index(vm.level.ratio)
-        if vm.level.mem_ratio != self.mem_ratios[li]:
+        if floats_differ(vm.level.mem_ratio, float(self.mem_ratios[li])):
             raise ConfigError(
                 f"VM {vm.vm_id} requests level {vm.level.name} but the cluster "
                 f"offers mem ratio {self.mem_ratios[li]:g}:1 at {vm.level.ratio:g}:1"
@@ -708,12 +716,13 @@ class VectorCluster:
                 self._masked_scores(vm, li, policy, entry[1])
             else:
                 self._sync()
-                idx = np.fromiter(set(touched), dtype=np.intp)
+                idx = np.fromiter(sorted(set(touched)), dtype=np.intp)
                 self._refresh_shape(entry[1], idx, vm, li, policy)
             entry[0] = pos
         masked = entry[1]
         j = masked.argmax()
-        if masked.item(j) == -math.inf:
+        best = masked.item(j)
+        if math.isinf(best) and best < 0:
             return None
         return int(j)
 
@@ -1106,12 +1115,12 @@ class VectorSimulation:
                         )
                     host = int(np.argmax(scores)) if any_feasible else None
                 if measuring:
-                    self.metrics.timer("select_s").observe(perf_counter() - t0)
-                    self.metrics.counter("arrivals").inc()
+                    self.metrics.timer(metric_names.SELECT_S).observe(perf_counter() - t0)
+                    self.metrics.counter(metric_names.ARRIVALS).inc()
                 if host is None:
                     rejections.append(vm.vm_id)
                     if measuring:
-                        self.metrics.counter("rejections").inc()
+                        self.metrics.counter(metric_names.REJECTIONS).inc()
                     if recording:
                         self._record(
                             event, arrival_seq, cluster, feasible, scores,
@@ -1126,9 +1135,9 @@ class VectorSimulation:
                     placements[vm.vm_id] = record
                     alive.add(vm.vm_id)
                     if measuring:
-                        self.metrics.counter("placements").inc()
+                        self.metrics.counter(metric_names.PLACEMENTS).inc()
                         if record.pooled:
-                            self.metrics.counter("pooled").inc()
+                            self.metrics.counter(metric_names.POOLED).inc()
                     if recording:
                         own_growth = 0 if record.pooled else int(growth[host])
                         self._record(
@@ -1141,7 +1150,7 @@ class VectorSimulation:
                     cluster.remove(vm.vm_id)
                     alive.discard(vm.vm_id)
                     if measuring:
-                        self.metrics.counter("departures").inc()
+                        self.metrics.counter(metric_names.DEPARTURES).inc()
             # The running CPU total is bit-equal to ``alloc_cpu.sum()``
             # (integral growth; see VectorCluster.total_alloc_cpu); the
             # naive arm keeps the pre-change per-event reduction.
@@ -1151,8 +1160,8 @@ class VectorSimulation:
                 float(cluster.alloc_mem.sum()),
             )
         if measuring:
-            self.metrics.gauge("final_alloc_cpu").set(float(cluster.alloc_cpu.sum()))
-            self.metrics.gauge("final_alloc_mem").set(float(cluster.alloc_mem.sum()))
+            self.metrics.gauge(metric_names.FINAL_ALLOC_CPU).set(float(cluster.alloc_cpu.sum()))
+            self.metrics.gauge(metric_names.FINAL_ALLOC_MEM).set(float(cluster.alloc_mem.sum()))
         return SimulationResult(
             num_hosts=cluster.num_hosts,
             capacity_cpu=float(cluster.cap_cpu.sum()),
@@ -1195,7 +1204,7 @@ class VectorSimulation:
         else:
             admission, hosted_ratio = ADMISSION_GROWTH, placement.hosted_ratio
         if self.metrics.enabled:
-            self.metrics.histogram("candidates").observe(int(feasible.sum()))
+            self.metrics.histogram(metric_names.CANDIDATES).observe(int(feasible.sum()))
         self.recorder.record_decision(
             DecisionRecord(
                 seq=seq,

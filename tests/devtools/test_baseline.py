@@ -1,0 +1,92 @@
+"""Baseline round-trips, count budgets, and determinism-rule refusal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.baseline import BASELINE_VERSION, Baseline, BaselineError
+from repro.devtools.rules import Finding
+
+
+def finding(rule_id="R005", path="src/a.py", line=3, snippet="x == y"):
+    return Finding(
+        rule_id=rule_id,
+        path=path,
+        line=line,
+        col=0,
+        message="m",
+        hint="h",
+        snippet=snippet,
+    )
+
+
+def test_round_trip_write_load_filter(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [finding(), finding(line=9), finding(path="src/b.py")]
+    Baseline.from_findings(findings).save(path)
+
+    loaded = Baseline.load(path)
+    assert len(loaded) == 3
+    # Every baselined finding is absorbed, regardless of line number.
+    assert loaded.filter_new(findings) == []
+    # A third copy of the same source line exceeds the count budget.
+    extra = finding(line=42)
+    assert loaded.filter_new([*findings, extra]) == [extra]
+    # Unknown fingerprints are always new.
+    fresh = finding(rule_id="R008")
+    assert loaded.filter_new([fresh]) == [fresh]
+
+
+def test_fingerprint_is_line_number_free():
+    assert finding(line=3).fingerprint() == finding(line=300).fingerprint()
+    assert finding(snippet="a == b").fingerprint() != finding().fingerprint()
+
+
+def test_saved_file_is_stable_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([finding(), finding(line=9)]).save(path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert payload["findings"] == {"R005:src/a.py:x == y": 2}
+    # Re-saving an identical baseline is byte-stable (sorted keys).
+    before = path.read_text()
+    Baseline.load(path).save(path)
+    assert path.read_text() == before
+
+
+@pytest.mark.parametrize("rule_id", ["R001", "R002", "R003", "R004"])
+def test_determinism_rules_cannot_be_written(rule_id):
+    with pytest.raises(BaselineError, match="cannot be baselined"):
+        Baseline.from_findings([finding(rule_id=rule_id)])
+
+
+@pytest.mark.parametrize("rule_id", ["R001", "R002", "R003", "R004"])
+def test_determinism_rules_rejected_at_load(tmp_path, rule_id):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {"version": 1, "findings": {f"{rule_id}:src/a.py:import time": 1}}
+        )
+    )
+    with pytest.raises(BaselineError, match="zero suppressions"):
+        Baseline.load(path)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json {",
+        json.dumps([1, 2]),
+        json.dumps({"version": 99, "findings": {}}),
+        json.dumps({"version": 1, "findings": [1]}),
+        json.dumps({"version": 1, "findings": {"R005:a:b": 0}}),
+        json.dumps({"version": 1, "findings": {"R005:a:b": "two"}}),
+    ],
+)
+def test_malformed_baselines_rejected(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload)
+    with pytest.raises(BaselineError):
+        Baseline.load(path)

@@ -1,0 +1,139 @@
+"""CLI contract: exit codes 0/1/2, reporters, baseline flags.
+
+Exercised through ``python -m repro.devtools.lint``'s ``main()`` and,
+for the integration path, through ``repro lint`` (``repro.cli.main``).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools.lint import main as lint_main
+
+CLEAN = "def add(a, b):\n    return a + b\n"
+DIRTY = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+).lstrip()
+# A baselinable (non-determinism) violation: exact float == on a score.
+BASELINABLE = textwrap.dedent(
+    """
+    def same(score_a, score_b):
+        return score_a == score_b
+    """
+).lstrip()
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    """A minimal repo layout; cwd moved there so default paths resolve."""
+    (tmp_path / "src" / "repro" / "scheduling").mkdir(parents=True)
+    (tmp_path / "scripts").mkdir()
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write(root, rel, text):
+    (root / rel).write_text(text, encoding="utf-8")
+
+
+def test_exit_0_on_clean_tree(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    assert lint_main(["src"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_exit_1_on_findings_with_hint_in_text(project, capsys):
+    write(project, "scripts/run.py", DIRTY)
+    assert lint_main(["scripts"]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out and "hint:" in out and "scripts/run.py:4" in out
+
+
+def test_default_paths_are_src_and_scripts(project, capsys):
+    write(project, "scripts/run.py", DIRTY)
+    assert lint_main([]) == 1
+    assert "R001" in capsys.readouterr().out
+
+
+def test_json_report_shape(project, capsys):
+    write(project, "scripts/run.py", DIRTY)
+    assert lint_main(["scripts", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counts"] == {"R001": 1}
+    (entry,) = payload["findings"]
+    assert entry["rule"] == "R001"
+    assert entry["path"] == "scripts/run.py"
+    assert entry["fingerprint"].startswith("R001:scripts/run.py:")
+
+
+def test_usage_errors_exit_2(project, capsys):
+    assert lint_main(["no/such/dir"]) == 2
+    assert lint_main(["src", "--rules", "R999"]) == 2
+    assert lint_main(["src", "--format", "yaml"]) == 2  # argparse itself
+    assert lint_main(["src", "--write-baseline"]) == 2  # needs --baseline
+    capsys.readouterr()
+
+
+def test_malformed_baseline_exits_2(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    write(project, "baseline.json", "{broken")
+    assert lint_main(["src", "--baseline", "baseline.json"]) == 2
+    assert "usage error" in capsys.readouterr().err
+
+
+def test_write_baseline_then_clean_then_new_finding(project, capsys):
+    write(project, "src/repro/scheduling/score.py", BASELINABLE)
+    assert lint_main(["src", "--baseline", "b.json", "--write-baseline"]) == 0
+    capsys.readouterr()
+
+    # Baselined: the legacy violation no longer fails the run...
+    assert lint_main(["src", "--baseline", "b.json"]) == 0
+    assert "1 baselined occurrence(s)" in capsys.readouterr().out
+
+    # ...but a second, new violation still does.
+    write(
+        project,
+        "src/repro/scheduling/score.py",
+        BASELINABLE + "\ndef worse(ratio):\n    return ratio == 0.5\n",
+    )
+    assert lint_main(["src", "--baseline", "b.json"]) == 1
+
+
+def test_write_baseline_refuses_determinism_findings(project, capsys):
+    write(project, "scripts/run.py", DIRTY)
+    assert lint_main(["scripts", "--baseline", "b.json", "--write-baseline"]) == 2
+    assert "cannot be baselined" in capsys.readouterr().err
+    assert not (project / "b.json").exists()
+
+
+def test_rules_subset(project, capsys):
+    write(project, "scripts/run.py", DIRTY)
+    assert lint_main(["scripts", "--rules", "R002"]) == 0
+    assert lint_main(["scripts", "--rules", "r001,R002"]) == 1
+    capsys.readouterr()
+
+
+def test_list_rules(project, capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R004", "R008"):
+        assert rule_id in out
+
+
+def test_repro_cli_lint_subcommand(project, capsys):
+    write(project, "scripts/run.py", DIRTY)
+    assert cli_main(["lint", "scripts"]) == 1
+    assert "R001" in capsys.readouterr().out
+    write(project, "scripts/run.py", CLEAN)
+    assert cli_main(["lint", "scripts", "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
