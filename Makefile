@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-engine golden repro examples clean lint typecheck
+.PHONY: install test bench bench-engine golden repro examples clean lint typecheck sweep-oversub-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +37,14 @@ bench-engine:
 # Regenerate the golden decision-trace corpus (tests/fixtures/golden).
 golden:
 	$(PYTHON) scripts/regen_golden.py
+
+# Dynamic-oversubscription smoke: the StaticRatio no-op contract
+# (byte-identical golden traces on both kernels) plus a small strategy
+# sweep through the CLI.
+sweep-oversub-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/oversub/test_golden_static.py -q
+	PYTHONPATH=src $(PYTHON) -m repro oversub --population 60 --seed 3 \
+		--update-every 1800
 
 repro:
 	$(PYTHON) scripts/reproduce_all.py -o REPORT.md

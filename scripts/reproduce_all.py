@@ -31,6 +31,7 @@ from repro.analysis import (
     table1_row,
     table2_row,
 )
+from repro.oversub.evaluate import OversubSweepSpec, run_oversub_sweep
 from repro.perfmodel import TestbedParams, run_testbed
 from repro.runner import parallel_fig3_series, parallel_fig4_grid
 from repro.workload import AZURE, OVHCLOUD, PROVIDERS
@@ -79,6 +80,13 @@ def main() -> None:
         grid = parallel_fig4_grid(catalog, target_population=population,
                                   seeds=seeds, workers=args.workers)
         add(f"Figure 4 — PM savings % ({catalog.name})", render_fig4(grid))
+
+    oversub = run_oversub_sweep(OversubSweepSpec(
+        providers=("azure", "ovhcloud"), mixes=("F", "J"), seeds=(42,),
+        target_population=60 if args.fast else 120,
+    ))
+    add("Dynamic oversubscription — packing gain vs violation risk "
+        "(§VIII, scarcity 0.5)", oversub.table())
 
     out = Path(args.output)
     out.write_text("\n".join(sections), encoding="utf-8")

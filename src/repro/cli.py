@@ -128,6 +128,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip cells already completed in --out "
                             "(failed cells are retried)")
 
+    ov = sub.add_parser(
+        "oversub",
+        help="compare dynamic-oversubscription strategies "
+             "(packing gain vs violation risk on a scarce cluster)",
+    )
+    ov.add_argument("--strategies", default="static,percentile,doa,greedy",
+                    help="comma-separated strategy subset "
+                         "(static, percentile, doa, greedy)")
+    ov.add_argument("--provider", choices=sorted(PROVIDERS), default="azure")
+    ov.add_argument("--mixes", default="F",
+                    help="comma-separated mixes (letters A-O or "
+                         "'label:S1,S2,S3' triples)")
+    ov.add_argument("--population", type=int, default=120)
+    ov.add_argument("--seed", type=int, default=42)
+    ov.add_argument("--num-seeds", type=int, default=1,
+                    help="run this many seeds derived from --seed "
+                         "(default 1: use --seed literally)")
+    ov.add_argument("--scarcity", type=float, default=0.5,
+                    help="cluster size as a fraction of the workload's "
+                         "demand lower bound (default 0.5: scarce)")
+    ov.add_argument("--update-every", type=float, default=3600.0,
+                    help="estimator update period, seconds (default 3600)")
+    ov.add_argument("--policy", choices=POLICIES, default="progress")
+    ov.add_argument("--kernel", choices=("incremental", "naive"),
+                    default="incremental")
+    ov.add_argument("--machine", type=_machine, default=SIM_WORKER,
+                    help="worker spec as CPUS:MEM_GB (default 32:128)")
+    ov.add_argument("-o", "--out", default=None,
+                    help="write the per-cell results as JSON")
+
     tb = sub.add_parser("testbed",
                         help="run the Table IV / Fig. 2 isolation experiment")
     tb.add_argument("--duration", type=float, default=1800.0)
@@ -306,6 +336,41 @@ def _cmd_sweep(args) -> None:
     print(render_fig4({k: sum(v) / len(v) for k, v in savings.items()}))
 
 
+def _cmd_oversub(args) -> None:
+    import json
+
+    from repro.oversub.evaluate import OversubSweepSpec, run_oversub_sweep
+    from repro.runner import derive_seeds
+
+    if args.num_seeds > 1:
+        seeds = derive_seeds(args.seed, args.num_seeds)
+    else:
+        seeds = (args.seed,)
+    strategies = tuple(s for s in args.strategies.split(",") if s)
+    mixes = tuple(m for m in args.mixes.split(",") if m)
+    spec = OversubSweepSpec(
+        strategies=strategies,
+        providers=(args.provider,),
+        mixes=mixes,
+        seeds=seeds,
+        target_population=args.population,
+        scarcity=args.scarcity,
+        policy=args.policy,
+        kernel=args.kernel,
+        update_every=args.update_every,
+        machine=args.machine,
+    )
+    result = run_oversub_sweep(spec)
+    print(f"Dynamic oversubscription — packing gain vs violation risk "
+          f"({args.provider}, scarcity {args.scarcity:g})")
+    print(result.table())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dicts(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(result.cells)} cells to {args.out}", file=sys.stderr)
+
+
 def _cmd_testbed(args) -> None:
     from repro.perfmodel import TestbedParams, run_testbed
 
@@ -420,6 +485,7 @@ _COMMANDS = {
     "size": _cmd_size,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "oversub": _cmd_oversub,
     "testbed": _cmd_testbed,
     "audit": _cmd_audit,
     "bench": _cmd_bench,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.errors import ConfigError
 from repro.core.types import VMRequest
+from repro.workload.usage import INTERACTIVE_AMPLITUDE
 
 __all__ = [
     "PercentilePredictor",
@@ -39,6 +40,13 @@ class PercentilePredictor:
         samples = np.asarray(samples, dtype=float)
         if samples.size == 0:
             raise ConfigError("cannot predict from an empty sample window")
+        # Recorded traces may have gaps (NaN samples); those must not
+        # leak into placement scores.  Ignore them, but refuse a window
+        # with no valid sample at all.
+        if np.isnan(samples).any():
+            if np.isnan(samples).all():
+                raise ConfigError("cannot predict from an all-NaN sample window")
+            return float(np.nanpercentile(samples, self.percentile))
         return float(np.percentile(samples, self.percentile))
 
 
@@ -56,12 +64,12 @@ class MeanStdPredictor:
         samples = np.asarray(samples, dtype=float)
         if samples.size == 0:
             raise ConfigError("cannot predict from an empty sample window")
-        return float(samples.mean() + self.k * samples.std())
-
-
-#: Diurnal amplitude used by the interactive usage profile (must track
-#: repro.workload.usage.InteractiveProfile's default).
-_INTERACTIVE_AMPLITUDE = 0.5
+        # Sample (ddof=1) rather than population std: the estimator
+        # windows this predictor sees are small, and population std
+        # systematically under-predicts the peak there.  A one-sample
+        # window has no spread information — predict the sample itself.
+        std = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
+        return float(samples.mean() + self.k * std)
 
 
 def analytic_peak_demand(vm: VMRequest, safety: float = 1.1) -> float:
@@ -78,7 +86,10 @@ def analytic_peak_demand(vm: VMRequest, safety: float = 1.1) -> float:
     elif vm.usage_kind == "stress":
         peak_util = vm.usage_param
     elif vm.usage_kind == "interactive":
-        peak_util = vm.usage_param * (1.0 + _INTERACTIVE_AMPLITUDE)
+        # InteractiveProfile.demand clamps at full utilisation, so the
+        # analytic peak must too — the unclamped closed form
+        # overestimates whenever base > 1 / (1 + amplitude).
+        peak_util = min(1.0, vm.usage_param * (1.0 + INTERACTIVE_AMPLITUDE))
     else:
         peak_util = 1.0  # unknown behaviour: assume the worst
     return min(float(vm.spec.vcpus), peak_util * safety * vm.spec.vcpus)

@@ -34,6 +34,11 @@ __all__ = [
     "RUNNER_CELL_SECONDS",
     "RUNNER_SWEEP_WALL",
     "RUNNER_THROUGHPUT_CELLS_PER_S",
+    "OVERSUB_UPDATES",
+    "OVERSUB_HOST_WINDOWS",
+    "OVERSUB_VIOLATIONS",
+    "OVERSUB_EFF_RATIO",
+    "OVERSUB_EFF_CPU_TOTAL",
     "ALL_METRIC_NAMES",
 ]
 
@@ -75,6 +80,20 @@ RUNNER_SWEEP_WALL = "runner.sweep_wall"
 #: Gauge — completed cells per second over the sweep.
 RUNNER_THROUGHPUT_CELLS_PER_S = "runner.throughput_cells_per_s"
 
+# -- dynamic oversubscription (repro.oversub) --------------------------------
+
+#: Counter — estimator update rounds executed by the controller.
+OVERSUB_UPDATES = "oversub.updates"
+#: Counter — host observation windows collected across all updates.
+OVERSUB_HOST_WINDOWS = "oversub.host_windows"
+#: Counter — host windows whose demand peak breached the violation
+#: threshold (counted for every strategy, including the static baseline).
+OVERSUB_VIOLATIONS = "oversub.violations"
+#: Histogram — per-update mean of effective/physical capacity ratios.
+OVERSUB_EFF_RATIO = "oversub.eff_ratio"
+#: Gauge — cluster-wide effective CPU capacity after the last update.
+OVERSUB_EFF_CPU_TOTAL = "oversub.eff_cpu_total"
+
 #: Every registered metric name; the R008 fixture tests and the
 #: registry round-trip test key off this set.
 ALL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -95,5 +114,10 @@ ALL_METRIC_NAMES: frozenset[str] = frozenset(
         RUNNER_CELL_SECONDS,
         RUNNER_SWEEP_WALL,
         RUNNER_THROUGHPUT_CELLS_PER_S,
+        OVERSUB_UPDATES,
+        OVERSUB_HOST_WINDOWS,
+        OVERSUB_VIOLATIONS,
+        OVERSUB_EFF_RATIO,
+        OVERSUB_EFF_CPU_TOTAL,
     }
 )

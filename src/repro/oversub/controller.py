@@ -1,0 +1,210 @@
+"""Periodic effective-capacity control loop + violation accounting.
+
+:class:`OversubController` is the piece both engines share: every
+``update_every`` simulated seconds it collects per-host usage windows
+(:class:`~repro.oversub.monitor.ClusterUsageMonitor`), asks the
+configured :class:`~repro.oversub.estimators.CapacityEstimator` for
+each host's effective capacity, and pushes the resulting vector back
+into the engine through the small :class:`CapacityTarget` port —
+``VectorCluster`` adapts it with a capacity-array override, the object
+engine with an :class:`~repro.oversub.pipeline.EffectiveCapacityView`.
+
+It also keeps the safety ledger: a host window whose demand peak
+exceeds ``violation_threshold × physical`` counts as one violation.
+Violations are counted for *every* strategy, including
+:class:`~repro.oversub.estimators.StaticRatio` — that is the baseline
+risk the packing-gain-vs-violation tables in EXPERIMENTS.md compare
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.types import VMRequest
+from repro.obs import names as metric_names
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.oversub.estimators import CapacityEstimator
+from repro.oversub.monitor import ClusterUsageMonitor
+
+__all__ = ["CapacityTarget", "OversubParams", "OversubSummary", "OversubController"]
+
+
+class CapacityTarget(Protocol):
+    """What the controller needs from an engine (structural port)."""
+
+    def placements(self) -> Iterable[tuple[VMRequest, int]]:
+        """(request, host index) for every live VM."""
+
+    def physical_capacity(self) -> Sequence[float]:
+        """Per-host physical CPU cores."""
+
+    def allocated_capacity(self) -> Sequence[float]:
+        """Per-host reserved CPU cores."""
+
+    def apply_effective_capacity(self, eff: np.ndarray) -> None:
+        """Install the per-host effective capacities."""
+
+
+@dataclass(frozen=True)
+class OversubParams:
+    """Configuration of the dynamic-oversubscription loop.
+
+    ``window`` defaults to ``update_every`` (back-to-back observation
+    windows).  ``slack_weight`` only affects the object engine: when
+    positive, a :class:`~repro.oversub.pipeline.SlackAwareWeigher` with
+    that weight joins the scheduler's weigher stage.
+    """
+
+    estimator: CapacityEstimator
+    update_every: float = 1800.0
+    window: float | None = None
+    samples_per_window: int = 16
+    violation_threshold: float = 1.0
+    slack_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.update_every <= 0:
+            raise ConfigError(
+                f"update_every must be positive, got {self.update_every}"
+            )
+        if self.window is not None and self.window <= 0:
+            raise ConfigError(f"window must be positive, got {self.window}")
+        if self.violation_threshold <= 0:
+            raise ConfigError(
+                f"violation_threshold must be positive, got {self.violation_threshold}"
+            )
+        if self.slack_weight < 0:
+            raise ConfigError(
+                f"slack_weight must be >= 0, got {self.slack_weight}"
+            )
+
+    def build_controller(
+        self, metrics: MetricsRegistry = NULL_METRICS
+    ) -> "OversubController":
+        monitor = ClusterUsageMonitor(
+            window=self.window if self.window is not None else self.update_every,
+            samples_per_window=self.samples_per_window,
+        )
+        return OversubController(
+            estimator=self.estimator,
+            monitor=monitor,
+            update_every=self.update_every,
+            violation_threshold=self.violation_threshold,
+            metrics=metrics,
+        )
+
+
+@dataclass(frozen=True)
+class OversubSummary:
+    """End-of-run ledger of one controller's activity."""
+
+    strategy: str
+    updates: int
+    host_windows: int
+    violations: int
+    eff_ratio_mean: float
+
+    @property
+    def violation_rate(self) -> float:
+        """Violating host-windows as a fraction of all host-windows."""
+        if self.host_windows == 0:
+            return 0.0
+        return self.violations / self.host_windows
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        return {
+            "strategy": self.strategy,
+            "updates": self.updates,
+            "host_windows": self.host_windows,
+            "violations": self.violations,
+            "violation_rate": self.violation_rate,
+            "eff_ratio_mean": self.eff_ratio_mean,
+        }
+
+
+@dataclass
+class OversubController:
+    """Drives estimator updates against an engine's :class:`CapacityTarget`."""
+
+    estimator: CapacityEstimator
+    monitor: ClusterUsageMonitor
+    update_every: float = 1800.0
+    violation_threshold: float = 1.0
+    metrics: MetricsRegistry = NULL_METRICS
+    updates: int = field(default=0, init=False)
+    host_windows: int = field(default=0, init=False)
+    violations: int = field(default=0, init=False)
+    _eff_ratio_sum: float = field(default=0.0, init=False)
+    _next_update: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.update_every <= 0:
+            raise ConfigError(
+                f"update_every must be positive, got {self.update_every}"
+            )
+        self.estimator.reset()
+        self._next_update = self.update_every
+
+    def advance(self, target: CapacityTarget, now: float) -> None:
+        """Run every update instant due at or before ``now``.
+
+        Updates fire at exact multiples of ``update_every`` regardless
+        of the event cadence, so the observation grid is identical
+        across policies and kernels.
+        """
+        while now >= self._next_update:
+            self._update(target, self._next_update)
+            self._next_update += self.update_every
+
+    def _update(self, target: CapacityTarget, time: float) -> None:
+        windows = self.monitor.collect(
+            target.placements(),
+            target.physical_capacity(),
+            target.allocated_capacity(),
+            time,
+        )
+        eff = np.empty(len(windows), dtype=float)
+        violations = 0
+        ratio_sum = 0.0
+        counted = 0
+        for w in windows:
+            eff[w.host] = self.estimator.effective_capacity(w)
+            if w.physical > 0:
+                if w.peak_demand > self.violation_threshold * w.physical:
+                    violations += 1
+                ratio_sum += eff[w.host] / w.physical
+                counted += 1
+        target.apply_effective_capacity(eff)
+        self.updates += 1
+        self.host_windows += counted
+        self.violations += violations
+        self._eff_ratio_sum += ratio_sum
+        if self.metrics.enabled:
+            self.metrics.counter(metric_names.OVERSUB_UPDATES).inc()
+            self.metrics.counter(metric_names.OVERSUB_HOST_WINDOWS).inc(counted)
+            if violations:
+                self.metrics.counter(metric_names.OVERSUB_VIOLATIONS).inc(violations)
+            if counted:
+                self.metrics.histogram(metric_names.OVERSUB_EFF_RATIO).observe(
+                    ratio_sum / counted
+                )
+            self.metrics.gauge(metric_names.OVERSUB_EFF_CPU_TOTAL).set(
+                float(eff.sum())
+            )
+
+    def summary(self) -> OversubSummary:
+        mean = float(
+            self._eff_ratio_sum / self.host_windows if self.host_windows else 1.0
+        )
+        return OversubSummary(
+            strategy=self.estimator.name,
+            updates=self.updates,
+            host_windows=self.host_windows,
+            violations=self.violations,
+            eff_ratio_mean=mean,
+        )

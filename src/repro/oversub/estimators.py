@@ -1,0 +1,346 @@
+"""Usage-driven effective-capacity estimators (ROADMAP item 1).
+
+SlackVM fixes each level's oversubscription ratio statically and defers
+dynamic levels to future work (paper §VIII).  This module supplies the
+missing layer: a :class:`CapacityEstimator` maps one host's *observed*
+usage window (:class:`HostWindow`) to the effective CPU capacity the
+scheduler should pack against.  Strategies:
+
+* :class:`StaticRatio` — the paper's baseline: a fixed multiple of the
+  physical core count (``ratio=1.0`` reproduces today's behaviour
+  exactly; the per-level oversubscription already lives in the vNodes).
+* :class:`PercentileEstimator` — Resource Central-style: scale the
+  current reservation so the predicted usage peak lands at a headroom
+  target below the physical capacity.
+* :class:`DoaEstimator` — ScroogeVM's decrease-on-alert: a per-host
+  ratio that backs off sharply on an alert and creeps up only after
+  the host's peak has been stable for several windows.
+* :class:`GreedyEstimator` — step the ratio up while the host is
+  quiescent, multiplicative back-off toward 1 on a threshold breach.
+
+Every estimate is clamped into ``[window.used, ratio_cap × physical]``:
+never below what the VMs demonstrably used (capacity that is already
+consumed cannot be reclaimed by prediction), never above the configured
+oversubscription ceiling.  The property suite pins this contract.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+__all__ = [
+    "HostWindow",
+    "PeakPredictor",
+    "CapacityEstimator",
+    "StaticRatio",
+    "PercentileEstimator",
+    "DoaEstimator",
+    "GreedyEstimator",
+    "STRATEGIES",
+    "make_estimator",
+]
+
+
+class PeakPredictor(Protocol):
+    """Anything that maps a sample window to a predicted peak.
+
+    Satisfied by :class:`repro.dynamiclevels.predictor.PercentilePredictor`
+    and :class:`~repro.dynamiclevels.predictor.MeanStdPredictor`.
+    """
+
+    def predict(self, samples: np.ndarray) -> float: ...
+
+
+def _default_predictor(percentile: float) -> PeakPredictor:
+    # Imported lazily: repro.dynamiclevels.__init__ pulls in the
+    # simulation engine, which imports this package — a module-level
+    # import here would close that cycle.
+    from repro.dynamiclevels.predictor import PercentilePredictor
+
+    return PercentilePredictor(percentile)
+
+
+class HostWindow:
+    """One host's observed usage over a time window.
+
+    ``samples`` holds the *demanded* physical cores on the window's
+    sample grid — unclipped, so a breach (demand above the physical
+    core count) is visible to the estimators and the violation
+    accounting.  ``allocated`` is what the scheduler has reserved.
+    """
+
+    __slots__ = ("host", "time", "physical", "allocated", "samples")
+
+    def __init__(
+        self,
+        host: int,
+        time: float,
+        physical: float,
+        allocated: float,
+        samples: np.ndarray,
+    ):
+        if physical < 0:
+            raise ConfigError(f"physical capacity must be >= 0, got {physical}")
+        if allocated < 0:
+            raise ConfigError(f"allocated capacity must be >= 0, got {allocated}")
+        self.host = host
+        self.time = time
+        self.physical = physical
+        self.allocated = allocated
+        self.samples = np.asarray(samples, dtype=float)
+
+    @property
+    def used(self) -> float:
+        """Peak *served* usage: the demand peak, capped by the physical
+        cores (a host cannot serve more than it has)."""
+        if self.samples.size == 0:
+            return 0.0
+        return float(min(self.samples.max(), self.physical))
+
+    @property
+    def peak_demand(self) -> float:
+        """Uncapped demand peak (exceeds ``physical`` on a breach)."""
+        if self.samples.size == 0:
+            return 0.0
+        return float(self.samples.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HostWindow(host={self.host}, time={self.time}, "
+            f"physical={self.physical}, allocated={self.allocated}, "
+            f"samples=<{self.samples.size}>)"
+        )
+
+
+class CapacityEstimator(ABC):
+    """Maps a host's usage window to an effective CPU capacity.
+
+    Subclasses implement :meth:`_estimate`; callers use
+    :meth:`effective_capacity`, which applies the safety clamp
+    ``[window.used, ratio_cap × physical]``.  Stateful strategies key
+    their state by ``window.host`` and must implement :meth:`reset` so
+    one instance can be reused across independent runs.
+    """
+
+    #: Registry key; subclasses override.
+    name = "estimator"
+
+    def __init__(self, ratio_cap: float = 3.0):
+        if ratio_cap < 1.0:
+            raise ConfigError(f"ratio_cap must be >= 1, got {ratio_cap}")
+        self.ratio_cap = ratio_cap
+
+    @abstractmethod
+    def _estimate(self, window: HostWindow) -> float:
+        """Raw effective-capacity estimate in physical cores."""
+
+    def effective_capacity(self, window: HostWindow) -> float:
+        """Clamped effective capacity for one host window."""
+        raw = self._estimate(window)
+        upper = self.ratio_cap * window.physical
+        return float(min(max(raw, window.used), upper))
+
+    def reset(self) -> None:
+        """Drop per-host state (stateless strategies: no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(ratio_cap={self.ratio_cap})"
+
+
+class StaticRatio(CapacityEstimator):
+    """The paper's baseline: effective capacity = ratio × physical.
+
+    ``ratio=1.0`` (the default) is *exactly* today's behaviour — the
+    per-level oversubscription is already encoded in the vNode ratios,
+    so the host-level effective capacity equals the physical cores and
+    the golden decision traces are reproduced byte-identically.
+    """
+
+    name = "static"
+
+    def __init__(self, ratio: float = 1.0):
+        super().__init__(ratio_cap=ratio)
+        self.ratio = ratio
+
+    def _estimate(self, window: HostWindow) -> float:
+        return self.ratio * window.physical
+
+
+class PercentileEstimator(CapacityEstimator):
+    """Resource Central-style windowed-percentile scaling.
+
+    Predicts the host's usage peak from the window and scales the
+    current reservation so that peak would land at ``1 - headroom`` of
+    the physical capacity: ``eff = allocated × (1 - headroom) ×
+    physical / peak``.  An idle-but-reserved host therefore earns a
+    large effective capacity (its reservations barely translate into
+    usage) while a hot host shrinks toward what it demonstrably needs.
+    Hosts with no reservation or an empty window report neutral
+    (physical) capacity — there is no signal to extrapolate from.
+    """
+
+    name = "percentile"
+
+    def __init__(
+        self,
+        predictor: PeakPredictor | None = None,
+        headroom: float = 0.1,
+        ratio_cap: float = 3.0,
+    ):
+        super().__init__(ratio_cap=ratio_cap)
+        if not 0.0 <= headroom < 1.0:
+            raise ConfigError(f"headroom must be in [0,1), got {headroom}")
+        self.predictor = predictor if predictor is not None else _default_predictor(95.0)
+        self.headroom = headroom
+
+    def _estimate(self, window: HostWindow) -> float:
+        if window.allocated <= 0.0 or window.samples.size == 0:
+            return window.physical
+        peak = float(self.predictor.predict(window.samples))
+        if peak <= 0.0:
+            # Reserved but (as good as) unused: the signal supports the
+            # most aggressive packing the ceiling allows.
+            return self.ratio_cap * window.physical
+        target = (1.0 - self.headroom) * window.physical
+        return window.allocated * target / peak
+
+
+class DoaEstimator(CapacityEstimator):
+    """ScroogeVM-style decrease-on-alert with per-host stability state.
+
+    Each host carries an oversubscription ratio.  When the predicted
+    usage peak crosses the ``alert`` fraction of physical capacity the
+    ratio drops by ``decrease`` immediately (alerts are trusted).
+    Raising it back is deliberately slow: the peak must stay within
+    ``stability_margin × physical`` of the previous window's peak for
+    ``stable_windows`` consecutive windows before the ratio gains
+    ``increase`` — the stability signal that keeps DOA from oscillating
+    on bursty hosts.
+    """
+
+    name = "doa"
+
+    def __init__(
+        self,
+        predictor: PeakPredictor | None = None,
+        alert: float = 0.85,
+        increase: float = 0.1,
+        decrease: float = 0.5,
+        stable_windows: int = 2,
+        stability_margin: float = 0.05,
+        ratio_cap: float = 3.0,
+    ):
+        super().__init__(ratio_cap=ratio_cap)
+        if not 0.0 < alert <= 1.0:
+            raise ConfigError(f"alert threshold must be in (0,1], got {alert}")
+        if increase <= 0 or decrease <= 0:
+            raise ConfigError("increase and decrease steps must be positive")
+        if stable_windows < 1:
+            raise ConfigError(f"stable_windows must be >= 1, got {stable_windows}")
+        if stability_margin < 0:
+            raise ConfigError(f"stability_margin must be >= 0, got {stability_margin}")
+        self.predictor = predictor if predictor is not None else _default_predictor(90.0)
+        self.alert = alert
+        self.increase = increase
+        self.decrease = decrease
+        self.stable_windows = stable_windows
+        self.stability_margin = stability_margin
+        # host -> (ratio, previous peak, consecutive-stable-windows)
+        self._state: dict[int, tuple[float, float, int]] = {}
+
+    def reset(self) -> None:
+        self._state.clear()
+
+    def _estimate(self, window: HostWindow) -> float:
+        ratio, last_peak, streak = self._state.get(window.host, (1.0, math.nan, 0))
+        peak = 0.0
+        if window.samples.size and window.physical > 0:
+            peak = float(self.predictor.predict(window.samples))
+        alerted = window.physical > 0 and peak >= self.alert * window.physical
+        if alerted:
+            ratio = max(1.0, ratio - self.decrease)
+            streak = 0
+        else:
+            stable = (
+                not math.isnan(last_peak)
+                and abs(peak - last_peak) <= self.stability_margin * window.physical
+            )
+            streak = streak + 1 if stable else 0
+            if streak >= self.stable_windows:
+                ratio = min(self.ratio_cap, ratio + self.increase)
+        self._state[window.host] = (ratio, peak, streak)
+        return ratio * window.physical
+
+
+class GreedyEstimator(CapacityEstimator):
+    """Step up while quiescent, multiplicative back-off on breach.
+
+    The simplest adaptive strategy and the natural foil for DOA: no
+    predictor, no stability signal.  While the raw demand peak stays
+    under ``quiet × physical`` the per-host ratio gains ``step``
+    additively; the moment it does not, the ratio collapses
+    multiplicatively toward 1 (``1 + (ratio - 1) × backoff``) — an
+    AIMD loop over host capacity.
+    """
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        quiet: float = 0.7,
+        step: float = 0.25,
+        backoff: float = 0.5,
+        ratio_cap: float = 3.0,
+    ):
+        super().__init__(ratio_cap=ratio_cap)
+        if not 0.0 < quiet <= 1.0:
+            raise ConfigError(f"quiet threshold must be in (0,1], got {quiet}")
+        if step <= 0:
+            raise ConfigError(f"step must be positive, got {step}")
+        if not 0.0 <= backoff < 1.0:
+            raise ConfigError(f"backoff must be in [0,1), got {backoff}")
+        self.quiet = quiet
+        self.step = step
+        self.backoff = backoff
+        self._ratio: dict[int, float] = {}
+
+    def reset(self) -> None:
+        self._ratio.clear()
+
+    def _estimate(self, window: HostWindow) -> float:
+        ratio = self._ratio.get(window.host, 1.0)
+        if window.peak_demand <= self.quiet * window.physical:
+            ratio = min(self.ratio_cap, ratio + self.step)
+        else:
+            ratio = max(1.0, 1.0 + (ratio - 1.0) * self.backoff)
+        self._ratio[window.host] = ratio
+        return ratio * window.physical
+
+
+#: Strategy registry: name -> zero-argument factory with the defaults
+#: the evaluation sweep uses.  Fresh instances per cell — DOA and
+#: greedy carry per-host state.
+STRATEGIES: dict[str, Callable[[], CapacityEstimator]] = {
+    StaticRatio.name: StaticRatio,
+    PercentileEstimator.name: PercentileEstimator,
+    DoaEstimator.name: DoaEstimator,
+    GreedyEstimator.name: GreedyEstimator,
+}
+
+
+def make_estimator(name: str) -> CapacityEstimator:
+    """Instantiate a registered strategy with its default parameters."""
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown oversubscription strategy {name!r}; "
+            f"expected one of {sorted(STRATEGIES)}"
+        ) from None
+    return factory()

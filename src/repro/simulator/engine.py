@@ -32,6 +32,12 @@ from repro.obs.records import (
     HostDecision,
     NULL_RECORDER,
 )
+from repro.oversub.controller import OversubController, OversubParams, OversubSummary
+from repro.oversub.pipeline import (
+    EffectiveCapacityView,
+    ObjectClusterTarget,
+    with_oversub,
+)
 from repro.scheduling.global_scheduler import ScoreBasedScheduler
 from repro.simulator.events import EventKind, workload_events
 
@@ -76,6 +82,8 @@ class SimulationResult:
     rejections: list[str]
     timeline: Timeline
     pooled_placements: int = 0
+    #: Dynamic-oversubscription ledger; None when no estimator ran.
+    oversub: Optional[OversubSummary] = None
 
     @property
     def feasible(self) -> bool:
@@ -160,12 +168,33 @@ class Simulation:
         fail_fast: bool = False,
         recorder: DecisionRecorder = NULL_RECORDER,
         metrics: MetricsRegistry = NULL_METRICS,
+        oversub: OversubParams | None = None,
     ):
         self.hosts = list(hosts)
         self.scheduler = scheduler
         self.fail_fast = fail_fast
         self.recorder = recorder
         self.metrics = metrics
+        self.oversub = oversub
+        self._oversub_target: Optional[ObjectClusterTarget] = None
+        self._oversub_controller: Optional[OversubController] = None
+        if oversub is not None:
+            # The object path composes through the Nova-style pipeline:
+            # an EffectiveCapacityFilter (and optional SlackAwareWeigher)
+            # reading a shared view the controller updates.  Local
+            # agents allocate physical slots, so on this path a dynamic
+            # capacity can only restrict placement; the vector engine's
+            # capacity override is the path that admits beyond physical.
+            view = EffectiveCapacityView(
+                [h.machine.name for h in self.hosts],
+                [float(h.machine.cpus) for h in self.hosts],
+            )
+            self.oversub_view = view
+            self.scheduler = with_oversub(
+                scheduler, view, slack_weight=oversub.slack_weight
+            )
+            self._oversub_target = ObjectClusterTarget(self.hosts, view)
+            self._oversub_controller = oversub.build_controller(metrics)
         if recorder.enabled:
             # Local agents emit their own admission records; wire any
             # un-instrumented host to the simulation's sink.
@@ -185,7 +214,11 @@ class Simulation:
         recording = self.recorder.enabled
         measuring = self.metrics.enabled
         arrival_seq = 0
+        controller = self._oversub_controller
+        target = self._oversub_target
         for event in queue.drain():
+            if controller is not None and target is not None:
+                controller.advance(target, event.time)
             vm = event.vm
             if event.kind is EventKind.ARRIVAL:
                 decisions: tuple[HostDecision, ...] = ()
@@ -213,6 +246,8 @@ class Simulation:
                         vm.vm_id, idx, placement.hosted_level.ratio, placement.pooled
                     )
                     alive.add(vm.vm_id)
+                    if target is not None:
+                        target.live[vm.vm_id] = (vm, idx)
                     if measuring:
                         self.metrics.counter(metric_names.PLACEMENTS).inc()
                         if placement.pooled:
@@ -224,6 +259,8 @@ class Simulation:
                 if vm.vm_id in alive:
                     self.hosts[placements[vm.vm_id].host].remove(vm.vm_id)
                     alive.discard(vm.vm_id)
+                    if target is not None:
+                        target.live.pop(vm.vm_id, None)
                     if measuring:
                         self.metrics.counter(metric_names.DEPARTURES).inc()
             timeline.record(
@@ -246,6 +283,7 @@ class Simulation:
             rejections=rejections,
             timeline=timeline,
             pooled_placements=pooled,
+            oversub=controller.summary() if controller is not None else None,
         )
 
     def _record(self, event, seq, decisions, chosen, placement) -> None:

@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -76,6 +76,7 @@ from repro.obs.records import (
     HostDecision,
     NULL_RECORDER,
 )
+from repro.oversub.controller import OversubController, OversubParams
 from repro.scheduling.constants import (
     BESTFIT_BLEND,
     CAPACITY_EPSILON,
@@ -206,6 +207,12 @@ class VectorCluster:
         self.cap_mem = self._base[_R_CAP_MEM]
         self.cap_cpu[:] = [m.cpus for m in machines]
         self.cap_mem[:] = [m.mem_gb for m in machines]
+        # Physical CPU cores, immutable under dynamic oversubscription:
+        # ``set_effective_capacity`` rewrites ``cap_cpu`` (what the
+        # kernels schedule against) while this records what the hosts
+        # actually have.  ``kill_host`` is the one mutation shared by
+        # both.
+        self.physical_cpu = self.cap_cpu.copy()
         self._lvl = np.zeros((L, 3, n), dtype=float)
         self.vnode_vcpus = self._lvl[:, _LR_VCPUS, :]
         self.vnode_cpus = self._lvl[:, _LR_CPUS, :]
@@ -944,7 +951,40 @@ class VectorCluster:
         """
         self.cap_cpu[host] = 1e-12
         self.cap_mem[host] = 1e-12
+        self.physical_cpu[host] = 1e-12
         self._touch(host)
+
+    def set_effective_capacity(self, eff: np.ndarray) -> None:
+        """Override the CPU capacities the kernels schedule against.
+
+        ``eff`` is a per-host effective-capacity vector (physical
+        cores), typically produced by a
+        :class:`repro.oversub.estimators.CapacityEstimator`.  Values
+        above ``physical_cpu`` admit more reservations than the host
+        physically has (dynamic oversubscription); values below
+        restrict it.  Dead hosts (``kill_host``) keep their kill
+        epsilon — an estimate cannot resurrect them — and a floor keeps
+        ratio-based scores finite.  A write that changes nothing is a
+        no-op, preserving the incremental kernel's caches (and the
+        decision stream) bit-for-bit — this is what keeps ``StaticRatio``
+        byte-identical to the golden traces.
+        """
+        eff = np.asarray(eff, dtype=float)
+        if eff.shape != self.cap_cpu.shape:
+            raise ConfigError(
+                f"expected {self.cap_cpu.shape} effective capacities, got {eff.shape}"
+            )
+        alive = self.physical_cpu > _EPS
+        target = np.where(alive, np.maximum(eff, 1e-12), self.cap_cpu)
+        if np.array_equal(target, self.cap_cpu):
+            return
+        self.cap_cpu[:] = target
+        self.invalidate()
+
+    def placed_requests(self) -> Iterator[tuple[VMRequest, int]]:
+        """(request, host) for every placed VM, in placement order."""
+        for vm_id, placement in self._placements.items():
+            yield self._requests[vm_id], placement[0]
 
     # -- scoring -------------------------------------------------------------
 
@@ -1039,6 +1079,26 @@ class VectorCluster:
         )
 
 
+class _VectorCapacityTarget:
+    """:class:`repro.oversub.controller.CapacityTarget` port over a
+    :class:`VectorCluster`."""
+
+    def __init__(self, cluster: VectorCluster):
+        self.cluster = cluster
+
+    def placements(self) -> Iterator[tuple[VMRequest, int]]:
+        return self.cluster.placed_requests()
+
+    def physical_capacity(self) -> np.ndarray:
+        return self.cluster.physical_cpu
+
+    def allocated_capacity(self) -> np.ndarray:
+        return self.cluster.alloc_cpu
+
+    def apply_effective_capacity(self, eff: np.ndarray) -> None:
+        self.cluster.set_effective_capacity(eff)
+
+
 class VectorSimulation:
     """Run a workload through a :class:`VectorCluster` under a policy.
 
@@ -1058,6 +1118,7 @@ class VectorSimulation:
         recorder: DecisionRecorder = NULL_RECORDER,
         metrics: MetricsRegistry = NULL_METRICS,
         kernel: str = "incremental",
+        oversub: OversubParams | None = None,
     ):
         if policy not in POLICIES:
             raise ConfigError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -1071,6 +1132,7 @@ class VectorSimulation:
         self.recorder = recorder
         self.metrics = metrics
         self.kernel = kernel
+        self.oversub = oversub
 
     def run(self, workload: list[VMRequest]) -> SimulationResult:
         recording = self.recorder.enabled
@@ -1093,6 +1155,11 @@ class VectorSimulation:
             if fast
             else workload_events(workload).drain()
         )
+        controller: Optional[OversubController] = None
+        target: Optional[_VectorCapacityTarget] = None
+        if self.oversub is not None:
+            controller = self.oversub.build_controller(self.metrics)
+            target = _VectorCapacityTarget(cluster)
         placements: dict[str, PlacementRecord] = {}
         rejections: list[str] = []
         timeline = Timeline()
@@ -1100,6 +1167,8 @@ class VectorSimulation:
         alive: set[str] = set()
         arrival_seq = 0
         for event in events:
+            if controller is not None and target is not None:
+                controller.advance(target, event.time)
             vm = event.vm
             if event.kind is EventKind.ARRIVAL:
                 t0 = perf_counter() if measuring else 0.0
@@ -1162,14 +1231,19 @@ class VectorSimulation:
         if measuring:
             self.metrics.gauge(metric_names.FINAL_ALLOC_CPU).set(float(cluster.alloc_cpu.sum()))
             self.metrics.gauge(metric_names.FINAL_ALLOC_MEM).set(float(cluster.alloc_mem.sum()))
+        # With a dynamic estimator active, ``cap_cpu`` holds the last
+        # effective override; the result reports the *physical* fleet.
         return SimulationResult(
             num_hosts=cluster.num_hosts,
-            capacity_cpu=float(cluster.cap_cpu.sum()),
+            capacity_cpu=float(
+                (cluster.physical_cpu if controller is not None else cluster.cap_cpu).sum()
+            ),
             capacity_mem=float(cluster.cap_mem.sum()),
             placements=placements,
             rejections=rejections,
             timeline=timeline,
             pooled_placements=pooled,
+            oversub=controller.summary() if controller is not None else None,
         )
 
     def _record(

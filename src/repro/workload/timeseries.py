@@ -140,3 +140,9 @@ class TraceProfile(UsageProfile):
         idx = int((t - self.start) // self.dt)
         idx = min(max(idx, 0), len(self.series) - 1)
         return self.series[idx]
+
+    def demand_series(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        idx = ((t - self.start) // self.dt).astype(np.intp)
+        np.clip(idx, 0, len(self.series) - 1, out=idx)
+        return np.asarray(self.series, dtype=float)[idx]

@@ -24,6 +24,7 @@ __all__ = [
     "InteractiveProfile",
     "profile_for",
     "DEFAULT_BEHAVIOUR_SHARES",
+    "INTERACTIVE_AMPLITUDE",
 ]
 
 #: §VII-A1 behaviour mix: (idle, stress, interactive).
@@ -35,6 +36,12 @@ DEFAULT_BEHAVIOUR_SHARES: dict[str, float] = {
 
 DAY_SECONDS = 86_400.0
 
+#: Default diurnal amplitude of :class:`InteractiveProfile`.  Consumers
+#: that reason about interactive peaks analytically (e.g.
+#: :func:`repro.dynamiclevels.predictor.analytic_peak_demand`) must
+#: import this constant instead of copying the value.
+INTERACTIVE_AMPLITUDE = 0.5
+
 
 class UsageProfile(ABC):
     """Maps time to demanded vCPU fraction in [0, 1]."""
@@ -44,6 +51,13 @@ class UsageProfile(ABC):
         """Fraction of the VM's vCPUs demanded at time ``t``."""
 
     def demand_series(self, times: np.ndarray) -> np.ndarray:
+        """Demand at every instant in ``times``.
+
+        The base implementation loops over :meth:`demand`; the concrete
+        profiles override it with a vectorized equivalent (bit-identical
+        to the scalar path) because the oversubscription estimators
+        evaluate it once per host per observation window.
+        """
         return np.array([self.demand(float(t)) for t in np.asarray(times)])
 
 
@@ -55,6 +69,9 @@ class IdleProfile(UsageProfile):
 
     def demand(self, t: float) -> float:
         return self.floor
+
+    def demand_series(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(times).shape, self.floor)
 
 
 @dataclass(frozen=True)
@@ -70,6 +87,9 @@ class StressProfile(UsageProfile):
     def demand(self, t: float) -> float:
         return self.utilization
 
+    def demand_series(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(times).shape, self.utilization)
+
 
 @dataclass(frozen=True)
 class InteractiveProfile(UsageProfile):
@@ -81,7 +101,7 @@ class InteractiveProfile(UsageProfile):
     """
 
     base: float = 0.35
-    amplitude: float = 0.5
+    amplitude: float = INTERACTIVE_AMPLITUDE
     phase: float = 0.0
 
     def __post_init__(self) -> None:
@@ -93,6 +113,13 @@ class InteractiveProfile(UsageProfile):
     def demand(self, t: float) -> float:
         wave = 1.0 + self.amplitude * math.sin(2 * math.pi * (t / DAY_SECONDS + self.phase))
         return min(1.0, self.base * wave)
+
+    def demand_series(self, times: np.ndarray) -> np.ndarray:
+        # Same IEEE operations (and order) as the scalar path, so the
+        # two are bit-identical; math.pi == np.pi.
+        t = np.asarray(times, dtype=float)
+        wave = 1.0 + self.amplitude * np.sin(2 * math.pi * (t / DAY_SECONDS + self.phase))
+        return np.minimum(1.0, self.base * wave)
 
 
 def profile_for(kind: str, param: float, phase: float = 0.0) -> UsageProfile:

@@ -30,8 +30,27 @@ class TestSamplePredictors:
     def test_meanstd_predictor(self):
         samples = np.array([1.0, 1.0, 1.0])
         assert MeanStdPredictor(3.0).predict(samples) == pytest.approx(1.0)
+        # Sample std (ddof=1): std([0, 2]) = sqrt(2), not 1.
         noisy = np.array([0.0, 2.0])
-        assert MeanStdPredictor(1.0).predict(noisy) == pytest.approx(2.0)
+        assert MeanStdPredictor(1.0).predict(noisy) == pytest.approx(
+            1.0 + np.sqrt(2.0)
+        )
+
+    def test_percentile_ignores_nan_gaps(self):
+        # Recorded traces have gaps; NaN must not leak into scores.
+        gappy = np.array([1.0, np.nan, 3.0, np.nan])
+        result = PercentilePredictor(100.0).predict(gappy)
+        assert result == pytest.approx(3.0)
+        assert not np.isnan(result)
+
+    def test_percentile_rejects_all_nan_window(self):
+        with pytest.raises(ConfigError):
+            PercentilePredictor().predict(np.array([np.nan, np.nan]))
+
+    def test_meanstd_single_sample_has_no_spread(self):
+        # ddof=1 on one sample would be NaN; the guard predicts the
+        # sample itself.
+        assert MeanStdPredictor(3.0).predict(np.array([5.0])) == 5.0
 
     def test_empty_window_rejected(self):
         with pytest.raises(ConfigError):
@@ -63,6 +82,26 @@ class TestAnalyticPeak:
 
     def test_unknown_kind_assumes_worst(self):
         assert analytic_peak_demand(vm("batch", 0.1), safety=1.0) == 4.0
+
+    def test_interactive_peak_clamped_at_full_utilisation(self):
+        # InteractiveProfile.demand clamps at 1.0; the analytic peak
+        # must agree.  For base > 1/(1+amplitude) the clamped peak
+        # equals a flat-out stress VM's — not 1.2× it.
+        hot = analytic_peak_demand(vm("interactive", 0.9), safety=1.0)
+        flat_out = analytic_peak_demand(vm("stress", 1.0), safety=1.0)
+        assert hot == flat_out == 4.0
+
+    def test_interactive_amplitude_is_shared_constant(self):
+        # The amplitude must come from repro.workload.usage, not a
+        # module-local copy that can drift.
+        from repro.dynamiclevels import predictor
+        from repro.workload.usage import INTERACTIVE_AMPLITUDE
+
+        assert not hasattr(predictor, "_INTERACTIVE_AMPLITUDE")
+        boundary = 1.0 / (1.0 + INTERACTIVE_AMPLITUDE)
+        assert analytic_peak_demand(
+            vm("interactive", boundary), safety=1.0
+        ) == pytest.approx(4.0)
 
     def test_safety_below_one_rejected(self):
         with pytest.raises(ConfigError):

@@ -33,6 +33,7 @@ def test_emit_sites_only_reference_known_names():
     # The registry must stay in sync with what the engines emit: every
     # attribute access `metric_names.X` across the library resolves.
     import repro.bench.engine
+    import repro.oversub.controller
     import repro.runner.runner
     import repro.simulator.engine
     import repro.simulator.vectorpool
@@ -42,6 +43,7 @@ def test_emit_sites_only_reference_known_names():
         repro.simulator.vectorpool,
         repro.runner.runner,
         repro.bench.engine,
+        repro.oversub.controller,
     ):
         tree = ast.parse(inspect.getsource(module))
         used = {

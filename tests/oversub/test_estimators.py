@@ -1,0 +1,191 @@
+"""Estimator unit tests + the effective-capacity bounds property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigError
+from repro.oversub.estimators import (
+    STRATEGIES,
+    DoaEstimator,
+    GreedyEstimator,
+    HostWindow,
+    PercentileEstimator,
+    StaticRatio,
+    make_estimator,
+)
+
+
+def window(samples, physical=16.0, allocated=8.0, host=0, time=0.0):
+    return HostWindow(
+        host=host,
+        time=time,
+        physical=physical,
+        allocated=allocated,
+        samples=np.asarray(samples, dtype=float),
+    )
+
+
+class TestHostWindow:
+    def test_used_is_peak_capped_by_physical(self):
+        w = window([2.0, 5.0, 3.0], physical=4.0)
+        assert w.peak_demand == 5.0
+        assert w.used == 4.0
+
+    def test_empty_window(self):
+        w = window([])
+        assert w.used == 0.0
+        assert w.peak_demand == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            window([1.0], physical=-1.0)
+        with pytest.raises(ConfigError):
+            window([1.0], allocated=-0.5)
+
+
+class TestStaticRatio:
+    def test_default_is_exactly_physical(self):
+        # The golden-trace identity hinges on this being exact, not
+        # approximate: ratio 1.0 must reproduce the physical capacity.
+        est = StaticRatio()
+        assert est.effective_capacity(window([3.0], physical=16.0)) == 16.0
+        assert est.effective_capacity(window([], physical=7.0)) == 7.0
+
+    def test_ratio_scales_physical(self):
+        est = StaticRatio(ratio=2.0)
+        assert est.effective_capacity(window([0.0], physical=16.0)) == 32.0
+
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            StaticRatio(ratio=0.5)
+
+
+class TestPercentileEstimator:
+    def test_idle_reserved_host_earns_capacity(self):
+        # 8 cores reserved, peak usage ~1.6 cores: reservations barely
+        # translate into usage, so effective capacity rises above
+        # physical (clamped by ratio_cap).
+        est = PercentileEstimator()
+        w = window([1.0, 1.5, 1.6], physical=16.0, allocated=8.0)
+        assert est.effective_capacity(w) > 16.0
+
+    def test_hot_host_shrinks_toward_used(self):
+        est = PercentileEstimator()
+        w = window([14.0, 15.5, 15.0], physical=16.0, allocated=16.0)
+        eff = est.effective_capacity(w)
+        assert w.used <= eff < 16.0 * est.ratio_cap
+        assert eff < 17.0
+
+    def test_no_signal_is_neutral(self):
+        est = PercentileEstimator()
+        assert est.effective_capacity(window([], allocated=4.0)) == 16.0
+        assert est.effective_capacity(window([1.0], allocated=0.0)) == 16.0
+
+    def test_zero_peak_hits_the_ceiling(self):
+        est = PercentileEstimator(ratio_cap=2.5)
+        w = window([0.0, 0.0], physical=16.0, allocated=8.0)
+        assert est.effective_capacity(w) == 2.5 * 16.0
+
+    def test_headroom_validated(self):
+        with pytest.raises(ConfigError):
+            PercentileEstimator(headroom=1.0)
+
+
+class TestDoaEstimator:
+    def test_alert_decreases_immediately(self):
+        est = DoaEstimator(alert=0.8, decrease=0.5, ratio_cap=3.0)
+        # Warm up to a raised ratio: identical quiet windows are stable.
+        quiet = [window([1.0, 1.0], physical=16.0) for _ in range(6)]
+        for w in quiet:
+            est.effective_capacity(w)
+        raised = est.effective_capacity(window([1.0, 1.0], physical=16.0))
+        assert raised > 16.0
+        hot = est.effective_capacity(window([15.0, 15.5], physical=16.0))
+        assert hot < raised
+
+    def test_unstable_hosts_do_not_creep_up(self):
+        est = DoaEstimator(stability_margin=0.01, stable_windows=2)
+        # Peaks jump around: never stable, ratio stays at 1.
+        for peak in (1.0, 5.0, 2.0, 7.0, 3.0):
+            eff = est.effective_capacity(window([peak], physical=16.0))
+        assert eff == 16.0
+
+    def test_state_is_per_host(self):
+        est = DoaEstimator(stable_windows=1)
+        for _ in range(4):
+            est.effective_capacity(window([1.0], physical=16.0, host=0))
+        fresh = est.effective_capacity(window([1.0], physical=16.0, host=1))
+        warmed = est.effective_capacity(window([1.0], physical=16.0, host=0))
+        assert warmed > fresh
+
+    def test_reset_clears_state(self):
+        est = DoaEstimator(stable_windows=1)
+        for _ in range(4):
+            est.effective_capacity(window([1.0], physical=16.0))
+        est.reset()
+        assert est.effective_capacity(window([1.0], physical=16.0)) == 16.0
+
+
+class TestGreedyEstimator:
+    def test_quiescent_steps_up(self):
+        est = GreedyEstimator(quiet=0.7, step=0.25, ratio_cap=3.0)
+        w = window([2.0], physical=16.0)
+        first = est.effective_capacity(w)
+        second = est.effective_capacity(w)
+        assert first == 1.25 * 16.0
+        assert second == 1.5 * 16.0
+
+    def test_breach_backs_off_multiplicatively(self):
+        est = GreedyEstimator(quiet=0.7, step=0.5, backoff=0.5)
+        quiet = window([2.0], physical=16.0)
+        for _ in range(4):
+            est.effective_capacity(quiet)  # ratio -> 3.0 capped
+        loud = window([15.0], physical=16.0)
+        eff = est.effective_capacity(loud)
+        # ratio 3.0 -> 1 + 2.0 * 0.5 = 2.0
+        assert eff == pytest.approx(2.0 * 16.0)
+
+    def test_never_below_physical_when_quiet(self):
+        est = GreedyEstimator()
+        w = window([15.9], physical=16.0)
+        for _ in range(10):
+            eff = est.effective_capacity(w)
+        assert eff >= 16.0 - 1e-9
+
+
+class TestRegistry:
+    def test_all_strategies_constructible(self):
+        for name in STRATEGIES:
+            est = make_estimator(name)
+            assert est.name == name
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_estimator("oracle")
+
+
+# ---------------------------------------------------------------------------
+# Property: every estimator's effective capacity stays within
+# [used, ratio_cap × physical] — the contract the engines rely on.
+# ---------------------------------------------------------------------------
+
+windows = st.builds(
+    window,
+    samples=st.lists(st.floats(0.0, 64.0), min_size=0, max_size=12),
+    physical=st.floats(1.0, 64.0),
+    allocated=st.floats(0.0, 192.0),
+    host=st.integers(0, 3),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(seq=st.lists(windows, min_size=1, max_size=8))
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_effective_capacity_bounds(strategy, seq):
+    est = make_estimator(strategy)
+    for w in seq:
+        eff = est.effective_capacity(w)
+        assert eff >= w.used - 1e-9
+        assert eff <= est.ratio_cap * w.physical + 1e-9

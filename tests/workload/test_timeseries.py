@@ -95,6 +95,14 @@ class TestTraceProfile:
         assert len(p.series) == 60
         assert 0.0 <= p.demand(300.0) <= 1.0
 
+    def test_vectorized_series_is_bit_identical(self):
+        p = TraceProfile.from_model(AZURE_LIKE_USAGE, 600, 10.0,
+                                    np.random.default_rng(11))
+        times = np.linspace(-50.0, 700.0, 331)
+        series = p.demand_series(times)
+        scalar = np.array([p.demand(float(t)) for t in times])
+        assert np.array_equal(series, scalar)
+
     def test_validation(self):
         with pytest.raises(WorkloadError):
             TraceProfile(series=(), dt=1.0)

@@ -77,3 +77,30 @@ def test_demand_series_matches_scalar():
     times = np.array([0.0, 100.0, 5000.0])
     series = p.demand_series(times)
     assert series == pytest.approx([p.demand(float(t)) for t in times])
+
+
+@pytest.mark.parametrize(
+    "profile",
+    [
+        IdleProfile(),
+        StressProfile(utilization=0.45),
+        InteractiveProfile(base=0.37, amplitude=0.5, phase=0.13),
+        InteractiveProfile(base=0.9, amplitude=1.0, phase=0.71),
+    ],
+    ids=["idle", "stress", "interactive", "interactive-clamped"],
+)
+def test_vectorized_demand_series_is_bit_identical(profile):
+    # The vectorized overrides must not just be close — the estimator
+    # layer and the scalar perfmodel path read the same signal, so the
+    # two implementations are required to agree bit-for-bit.
+    times = np.linspace(-DAY, 3 * DAY, 1013)
+    series = profile.demand_series(times)
+    scalar = np.array([profile.demand(float(t)) for t in times])
+    assert series.shape == times.shape
+    assert np.array_equal(series, scalar)
+
+
+def test_demand_series_accepts_lists_and_empty():
+    p = StressProfile(utilization=0.25)
+    assert np.array_equal(p.demand_series([0.0, 1.0]), [0.25, 0.25])
+    assert p.demand_series(np.array([])).size == 0
