@@ -31,8 +31,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Regenerate the committed placement-kernel baseline (quiet machine!).
+# Includes the 50k/100k-host scale tier — budget ~30-45 minutes, the
+# naive reference arm is milliseconds per event at 100k hosts.
 bench-engine:
-	$(PYTHON) -m repro bench engine -o BENCH_engine.json
+	$(PYTHON) -m repro bench engine --scale-hosts 50000,100000 \
+		-o BENCH_engine.json
 
 # Regenerate the golden decision-trace corpus (tests/fixtures/golden).
 golden:

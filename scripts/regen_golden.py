@@ -17,11 +17,22 @@ Freezes, under ``tests/fixtures/golden/``:
   generation parameters, for provenance.
 
 ``tests/simulator/test_golden_trace.py`` replays the frozen trace
-through the incremental kernel (byte-identical stream required), the
-naive kernel (ditto) and the object engine (field-level diff via
-:func:`repro.obs.audit.diff_decision_streams`).  Regenerate only when
-a *deliberate* decision-semantics change lands, and say so in the
-commit message.
+through the incremental and pruned kernels (byte-identical stream
+required), the naive kernel (ditto) and the object engine
+(field-level diff via :func:`repro.obs.audit.diff_decision_streams`).
+
+Additionally freezes the **scale tier** under
+``tests/fixtures/golden/scale/``: a 5000-host trace and one canonical
+*result stream* per policy (:func:`repro.simulator.conformance.
+result_stream`), recorded with the naive kernel through the
+uninstrumented run loop.  Decision recording disables the engine's
+fast path, so only these result-stream fixtures pin the shape-cache
+and pruned-kernel selection code that production runs execute;
+``tests/simulator/test_scale_golden.py`` replays them for every
+kernel, byte-for-byte.
+
+Regenerate only when a *deliberate* decision-semantics change lands,
+and say so in the commit message.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from repro.workload.generator import WorkloadParams, generate_workload  # noqa: 
 from repro.workload.traces import load_trace, save_trace  # noqa: E402
 
 GOLDEN_DIR = REPO / "tests" / "fixtures" / "golden"
+SCALE_DIR = GOLDEN_DIR / "scale"
 
 #: Generation parameters.  Chosen (seed scan) so every policy rejects
 #: at least one VM and most exercise §V-B pooling — the corpus must
@@ -53,9 +65,25 @@ NUM_HOSTS = 5
 HOST_CPUS = 16
 HOST_MEM_GB = 64.0
 
+#: Scale tier: enough hosts that the pruned kernel's partition
+#: structures span many blocks (5000 hosts = 20 blocks of 256), with a
+#: workload small enough that the naive oracle regenerates in seconds.
+SCALE_SEED = 2031
+SCALE_TARGET_POPULATION = 1200
+SCALE_NUM_HOSTS = 5000
+SCALE_HOST_CPUS = 48
+SCALE_HOST_MEM_GB = 192.0
+
 
 def machines() -> list[MachineSpec]:
     return [MachineSpec(f"pm-{i}", HOST_CPUS, HOST_MEM_GB) for i in range(NUM_HOSTS)]
+
+
+def scale_machines() -> list[MachineSpec]:
+    return [
+        MachineSpec(f"pm-{i}", SCALE_HOST_CPUS, SCALE_HOST_MEM_GB)
+        for i in range(SCALE_NUM_HOSTS)
+    ]
 
 
 def main() -> int:
@@ -100,7 +128,56 @@ def main() -> int:
         json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     print(f"wrote {len(POLICIES)} streams + trace + manifest to {GOLDEN_DIR}")
+    regen_scale_tier()
     return 0
+
+
+def regen_scale_tier() -> None:
+    from repro.simulator.conformance import result_stream
+
+    SCALE_DIR.mkdir(parents=True, exist_ok=True)
+    params = WorkloadParams(
+        catalog=AZURE,
+        level_mix=LEVEL_MIX,
+        target_population=SCALE_TARGET_POPULATION,
+        seed=SCALE_SEED,
+    )
+    save_trace(generate_workload(params), SCALE_DIR / "trace.jsonl")
+    workload = load_trace(SCALE_DIR / "trace.jsonl")
+
+    summaries = {}
+    for policy in POLICIES:
+        # The naive kernel through the *uninstrumented* loop is the
+        # oracle: no recorder, so the engine takes the same run loop
+        # the fast kernels use in production.
+        result = VectorSimulation(
+            scale_machines(), policy=policy, kernel="naive"
+        ).run(workload)
+        (SCALE_DIR / f"{policy}.stream").write_text(
+            result_stream(result), encoding="utf-8"
+        )
+        summaries[policy] = {
+            "placed": len(result.placements),
+            "rejected": len(result.rejections),
+            "pooled": result.pooled_placements,
+        }
+        print(f"scale/{policy:20s} {summaries[policy]}")
+
+    manifest = {
+        "seed": SCALE_SEED,
+        "catalog": "azure",
+        "level_mix": list(LEVEL_MIX),
+        "target_population": SCALE_TARGET_POPULATION,
+        "num_vms": len(workload),
+        "num_hosts": SCALE_NUM_HOSTS,
+        "host_cpus": SCALE_HOST_CPUS,
+        "host_mem_gb": SCALE_HOST_MEM_GB,
+        "policies": summaries,
+    }
+    (SCALE_DIR / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(POLICIES)} result streams + trace + manifest to {SCALE_DIR}")
 
 
 if __name__ == "__main__":

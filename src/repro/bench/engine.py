@@ -1,33 +1,54 @@
 """``repro bench engine`` — placement-kernel micro-benchmark.
 
 Measures the vector engine's event throughput (arrivals + departures
-processed per second) for both placement kernels on the same generated
+processed per second) for every placement kernel on the same generated
 workloads:
 
 * ``incremental`` — the allocation-free kernel in
   :mod:`repro.simulator.vectorpool` (dirty-host bookkeeping, candidate
   masks, shape-keyed masked-score cache);
+* ``pruned`` — the hierarchical candidate-pruning kernel in
+  :mod:`repro.simulator.prunekernel` (partition maxima and candidate
+  counters on top of the incremental caches, sublinear ``select()``);
 * ``naive`` — the retained pre-change reference in
   :mod:`repro.simulator.refkernel`, run end to end through the
   pre-change flow (heap drain, allocating selection), so speedups are
   measured against the engine as it existed before the rewrite.
 
-Every cell verifies that the two kernels produce identical placements,
+Every cell verifies that all kernels produce identical placements,
 rejections, pooling counts and timelines before its timing is trusted
 — a benchmark of a wrong kernel is worthless.  Per-op timers go
 through :class:`repro.obs.metrics.MetricsRegistry` (the ``select_s``
-timer the engine already maintains), identically for both arms.
+timer the engine already maintains), identically for every arm.
+
+The grid has two tiers.  **Standard** cells carry the full policy grid
+at the committed load factor; **scale** cells (``scale_hosts``,
+typically 50k and 100k) run a policy subset at a reduced load factor so
+the naive baseline arm — milliseconds per event at 100k hosts — stays
+affordable, and report a peak-RSS memory column next to throughput.
+``peak_rss_mb`` is ``ru_maxrss``, the *process-lifetime high-water
+mark*: it never decreases across arms or cells, so read it as "the run
+up to and including this arm fit in this much memory", not as a
+per-arm footprint.
 
 The committed ``BENCH_engine.json`` is this module's output on the
 full grid; :func:`compare_engine_bench` checks a fresh (usually
-smaller) run against it on **speedup ratios only** — absolute
-events/sec are machine-dependent, the incremental-vs-naive ratio
-mostly is not — with a generous tolerance for noisy CI runners.
+smaller) run against it **per cell and per kernel ratio** — absolute
+events/sec are machine-dependent, the kernel-vs-naive ratios mostly
+are not — with a generous tolerance for noisy CI runners.  Cells where
+a kernel is *slower* than naive (ratio < 1, e.g. ``incremental`` /
+``first_fit`` on small clusters, where per-event dirty-host
+bookkeeping costs more than the tiny full scan it avoids) are reported
+explicitly as crossovers by :func:`crossover_report` rather than
+hidden inside a global average; docs/ARCHITECTURE.md discusses the
+small-cluster crossover.
 """
 
 from __future__ import annotations
 
 import platform
+import resource
+import sys
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Optional
@@ -42,10 +63,17 @@ from repro.simulator.vectorpool import KERNELS, POLICIES, VectorSimulation
 from repro.workload.catalog import PROVIDERS
 from repro.workload.generator import WorkloadParams, generate_workload
 
-__all__ = ["EngineBenchSpec", "run_engine_bench", "compare_engine_bench"]
+__all__ = [
+    "EngineBenchSpec",
+    "run_engine_bench",
+    "compare_engine_bench",
+    "crossover_report",
+]
 
 #: Schema version of the JSON payload (bump on incompatible change).
-SCHEMA = 1
+#: 2: per-kernel ``speedups`` + ``peak_rss_mb`` columns, scale-tier
+#: cells (``tier`` field, ``scale_*`` grid keys), third kernel.
+SCHEMA = 2
 
 
 class BenchError(ReproError):
@@ -59,6 +87,11 @@ class EngineBenchSpec:
     ``vms_per_host`` scales the workload with the cluster so load (and
     therefore per-event work) stays comparable across sizes; the
     defaults reproduce the committed ``BENCH_engine.json`` grid.
+
+    ``scale_hosts`` adds the datacenter-scale tier: those cells run
+    only ``scale_policies`` at ``scale_vms_per_host`` load so the
+    naive reference arm stays tractable at 100k hosts.  Empty (the
+    default) skips the tier entirely.
     """
 
     hosts: tuple[int, ...] = (500, 2000, 5000)
@@ -70,9 +103,17 @@ class EngineBenchSpec:
     host_mem_gb: float = 192.0
     warmup_vms: int = 2000
     verify: bool = True
+    scale_hosts: tuple[int, ...] = ()
+    scale_policies: tuple[str, ...] = ("first_fit", "best_fit", "progress")
+    scale_vms_per_host: float = 0.5
+    scale_warmup_vms: int = 200
 
     def __post_init__(self) -> None:
-        unknown = [p for p in self.policies if p not in POLICIES]
+        unknown = [
+            p
+            for p in (*self.policies, *self.scale_policies)
+            if p not in POLICIES
+        ]
         if unknown:
             raise BenchError(f"unknown policies {unknown}; expected {POLICIES}")
         if self.provider not in PROVIDERS:
@@ -81,6 +122,10 @@ class EngineBenchSpec:
             )
         if not self.hosts or any(n <= 0 for n in self.hosts):
             raise BenchError(f"hosts must be positive, got {self.hosts}")
+        if any(n <= 0 for n in self.scale_hosts):
+            raise BenchError(
+                f"scale hosts must be positive, got {self.scale_hosts}"
+            )
 
 
 def _result_fingerprint(result) -> tuple:
@@ -94,37 +139,43 @@ def _result_fingerprint(result) -> tuple:
     )
 
 
-def run_engine_bench(
-    spec: EngineBenchSpec = EngineBenchSpec(),
-    progress: Optional[Callable[[str], None]] = None,
-) -> dict:
-    """Run the grid and return the JSON-ready payload.
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak resident set, in MiB (monotonic)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
-    For each (cluster size, policy) cell both kernels replay the same
-    workload once, after a shared warmup slice; with ``spec.verify``
-    the two results must agree exactly or :class:`BenchError` is
-    raised.  ``progress`` (when given) receives one line per cell.
-    """
-    say = progress or (lambda line: None)
+
+def _run_tier(
+    spec: EngineBenchSpec,
+    hosts: tuple[int, ...],
+    policies: tuple[str, ...],
+    vms_per_host: float,
+    warmup_vms: int,
+    tier: str,
+    say: Callable[[str], None],
+) -> list[dict]:
     catalog = PROVIDERS[spec.provider]
     cells = []
-    for num_hosts in spec.hosts:
+    for num_hosts in hosts:
         params = WorkloadParams(
             catalog=catalog,
             level_mix=(40, 30, 30),
-            target_population=max(1, round(spec.vms_per_host * num_hosts)),
+            target_population=max(1, round(vms_per_host * num_hosts)),
             seed=spec.seed,
         )
         workload = generate_workload(params)
         num_events = len(workload) + sum(
             1 for vm in workload if vm.departure is not None
         )
-        warmup = workload[: spec.warmup_vms]
+        warmup = workload[:warmup_vms]
         machines = [
             MachineSpec(f"bench-pm-{i}", spec.host_cpus, spec.host_mem_gb)
             for i in range(num_hosts)
         ]
-        for policy in spec.policies:
+        for policy in policies:
             arms = {}
             for kernel in KERNELS:
                 metrics = MetricsRegistry()
@@ -145,6 +196,7 @@ def run_engine_bench(
                             1e6 * select.total_s / select.count if select.count else 0.0
                         ),
                         "select_ops_per_s": select.rate,
+                        "peak_rss_mb": _peak_rss_mb(),
                     },
                 }
             if spec.verify:
@@ -158,32 +210,69 @@ def run_engine_bench(
                         "run `repro audit` to localize the divergence"
                     )
             result = arms["incremental"]["result"]
-            speedup = (
-                arms["naive"]["payload"]["wall_s"]
-                / arms["incremental"]["payload"]["wall_s"]
-            )
+            naive_wall = arms["naive"]["payload"]["wall_s"]
+            speedups = {
+                kernel: naive_wall / arm["payload"]["wall_s"]
+                for kernel, arm in arms.items()
+                if kernel != "naive"
+            }
             cells.append(
                 {
                     "num_hosts": num_hosts,
                     "policy": policy,
+                    "tier": tier,
                     "num_events": num_events,
                     "placed": len(result.placements),
                     "rejected": len(result.rejections),
                     "pooled": result.pooled_placements,
                     "verified": spec.verify,
                     "kernels": {k: a["payload"] for k, a in arms.items()},
-                    "speedup": speedup,
+                    "speedups": speedups,
+                    # Legacy column (schema 1 compatibility for readers):
+                    # the incremental-vs-naive ratio.
+                    "speedup": speedups["incremental"],
                 }
             )
             say(
                 f"hosts={num_hosts:6d} {policy:20s} "
-                f"incremental {arms['incremental']['payload']['events_per_s']:9.0f} ev/s  "
+                f"pruned {arms['pruned']['payload']['events_per_s']:9.0f} ev/s "
+                f"({speedups['pruned']:.2f}x)  "
+                f"incremental {arms['incremental']['payload']['events_per_s']:9.0f} ev/s "
+                f"({speedups['incremental']:.2f}x)  "
                 f"naive {arms['naive']['payload']['events_per_s']:9.0f} ev/s  "
-                f"speedup {speedup:.2f}x"
+                f"rss {arms['naive']['payload']['peak_rss_mb']:.0f}MB"
             )
+    return cells
+
+
+def run_engine_bench(
+    spec: EngineBenchSpec = EngineBenchSpec(),
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the grid and return the JSON-ready payload.
+
+    For each (cluster size, policy) cell every kernel replays the same
+    workload once, after a shared warmup slice; with ``spec.verify``
+    the results must agree exactly or :class:`BenchError` is raised.
+    ``progress`` (when given) receives one line per cell.
+    """
+    say = progress or (lambda line: None)
+    cells = _run_tier(
+        spec, spec.hosts, spec.policies, spec.vms_per_host,
+        spec.warmup_vms, "standard", say,
+    )
+    if spec.scale_hosts:
+        cells += _run_tier(
+            spec, spec.scale_hosts, spec.scale_policies,
+            spec.scale_vms_per_host, spec.scale_warmup_vms, "scale", say,
+        )
     headline = max(
         cells,
-        key=lambda c: (c["num_hosts"], c["policy"] == "progress", c["speedup"]),
+        key=lambda c: (
+            c["num_hosts"],
+            c["policy"] == "progress",
+            c["speedups"]["pruned"],
+        ),
     )
     return {
         "schema": SCHEMA,
@@ -196,6 +285,10 @@ def run_engine_bench(
             "host_cpus": spec.host_cpus,
             "host_mem_gb": spec.host_mem_gb,
             "warmup_vms": spec.warmup_vms,
+            "scale_hosts": list(spec.scale_hosts),
+            "scale_policies": list(spec.scale_policies),
+            "scale_vms_per_host": spec.scale_vms_per_host,
+            "scale_warmup_vms": spec.scale_warmup_vms,
         },
         "environment": {
             "python": platform.python_version(),
@@ -206,10 +299,40 @@ def run_engine_bench(
             "num_hosts": headline["num_hosts"],
             "policy": headline["policy"],
             "speedup": headline["speedup"],
-            "events_per_s": headline["kernels"]["incremental"]["events_per_s"],
+            "speedups": headline["speedups"],
+            "events_per_s": headline["kernels"]["pruned"]["events_per_s"],
         },
         "cells": cells,
     }
+
+
+def _cell_speedups(cell: dict) -> dict:
+    """Per-kernel ratio dict of a cell, tolerating schema-1 shapes."""
+    speedups = cell.get("speedups")
+    if speedups is None:
+        speedups = {"incremental": cell["speedup"]}
+    return speedups
+
+
+def crossover_report(payload: dict) -> list[str]:
+    """Cells where a kernel runs *slower* than naive, one line each.
+
+    A ratio below 1.0 is not automatically a bug — on small clusters
+    the incremental kernel's per-event bookkeeping can cost more than
+    the tiny full scan it avoids (see docs/ARCHITECTURE.md) — but it
+    must be visible, not averaged away.  ``repro bench engine`` prints
+    these lines after every run and every ``--check``.
+    """
+    lines = []
+    for cell in payload.get("cells", ()):
+        for kernel, ratio in sorted(_cell_speedups(cell).items()):
+            if ratio < 1.0:
+                lines.append(
+                    f"hosts={cell['num_hosts']} policy={cell['policy']}: "
+                    f"{kernel} {ratio:.2f}x vs naive (crossover: naive "
+                    "wins this cell)"
+                )
+    return lines
 
 
 def compare_engine_bench(
@@ -217,11 +340,14 @@ def compare_engine_bench(
 ) -> list[str]:
     """Compare a fresh run against a committed baseline.
 
-    Only **speedup ratios** are compared (per matching cell, and the
-    headline), each required to reach ``baseline * (1 - tolerance)``;
+    Only **speedup ratios** are compared — per matching cell and per
+    kernel, each required to reach ``baseline * (1 - tolerance)``;
     absolute events/sec are reported nowhere near a threshold because
-    they track the machine, not the code.  Returns a list of problem
-    descriptions — empty means the run holds the baseline's contract.
+    they track the machine, not the code.  Known-crossover cells
+    (baseline ratio already below 1.0) are flagged as such in the
+    problem text so a small-cluster crossover reads differently from a
+    genuine regression.  Returns a list of problem descriptions —
+    empty means the run holds the baseline's contract.
     """
     if not 0 <= tolerance < 1:
         raise BenchError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -241,14 +367,24 @@ def compare_engine_bench(
         if ref is None:
             continue
         matched += 1
-        floor = ref["speedup"] * (1 - tolerance)
-        if cell["speedup"] < floor:
-            problems.append(
-                f"hosts={cell['num_hosts']} policy={cell['policy']}: "
-                f"speedup {cell['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {ref['speedup']:.2f}x, "
-                f"tolerance {tolerance:.0%})"
-            )
+        ratios = _cell_speedups(cell)
+        for kernel, ref_ratio in sorted(_cell_speedups(ref).items()):
+            ratio = ratios.get(kernel)
+            if ratio is None:
+                continue
+            floor = ref_ratio * (1 - tolerance)
+            if ratio < floor:
+                note = (
+                    " [known crossover cell: baseline already < 1x]"
+                    if ref_ratio < 1.0
+                    else ""
+                )
+                problems.append(
+                    f"hosts={cell['num_hosts']} policy={cell['policy']} "
+                    f"kernel={kernel}: speedup {ratio:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {ref_ratio:.2f}x, "
+                    f"tolerance {tolerance:.0%}){note}"
+                )
     if not matched:
         problems.append(
             "no benchmark cell matches the baseline grid "

@@ -189,8 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-benchmark the engines (currently: the placement kernel)",
     )
     be.add_argument("target", choices=("engine",),
-                    help="what to benchmark (engine: incremental vs naive "
-                         "placement kernel)")
+                    help="what to benchmark (engine: pruned/incremental vs "
+                         "naive placement kernels)")
     be.add_argument("--hosts", default="500,2000,5000",
                     help="comma-separated cluster sizes (default 500,2000,5000)")
     be.add_argument("--policies", default="all",
@@ -201,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="workload target population per host (default 4)")
     be.add_argument("--machine", type=_machine, default=_machine("48:192"),
                     help="host spec as CPUS:MEM_GB (default 48:192)")
+    be.add_argument("--scale-hosts", default="",
+                    help="comma-separated datacenter-scale cluster sizes "
+                         "(e.g. 50000,100000; default: none)")
+    be.add_argument("--scale-policies", default="first_fit,best_fit,progress",
+                    help="policy subset for the scale tier "
+                         "(default first_fit,best_fit,progress)")
+    be.add_argument("--scale-vms-per-host", type=float, default=0.5,
+                    help="workload target population per host for scale "
+                         "cells (default 0.5, keeps the naive arm tractable)")
+    be.add_argument("--scale-warmup-vms", type=int, default=200,
+                    help="warmup slice for scale cells (default 200)")
     be.add_argument("--no-verify", action="store_true",
                     help="skip the kernel-equality check on each cell")
     be.add_argument("-o", "--out", default=None,
@@ -420,7 +431,12 @@ def _cmd_audit(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench import EngineBenchSpec, compare_engine_bench, run_engine_bench
+    from repro.bench import (
+        EngineBenchSpec,
+        compare_engine_bench,
+        crossover_report,
+        run_engine_bench,
+    )
     from repro.simulator.vectorpool import POLICIES as _ALL_POLICIES
 
     policies = (
@@ -430,8 +446,11 @@ def _cmd_bench(args) -> int:
     )
     try:
         hosts = tuple(int(h) for h in args.hosts.split(",") if h)
+        scale_hosts = tuple(int(h) for h in args.scale_hosts.split(",") if h)
     except ValueError:
-        raise SystemExit(f"invalid --hosts {args.hosts!r}: use e.g. 500,2000,5000")
+        raise SystemExit(
+            f"invalid --hosts/--scale-hosts: use e.g. 500,2000,5000"
+        )
     spec = EngineBenchSpec(
         hosts=hosts,
         policies=policies,
@@ -441,11 +460,19 @@ def _cmd_bench(args) -> int:
         host_cpus=args.machine.cpus,
         host_mem_gb=args.machine.mem_gb,
         verify=not args.no_verify,
+        scale_hosts=scale_hosts,
+        scale_policies=tuple(p for p in args.scale_policies.split(",") if p),
+        scale_vms_per_host=args.scale_vms_per_host,
+        scale_warmup_vms=args.scale_warmup_vms,
     )
     payload = run_engine_bench(spec, progress=print)
     head = payload["headline"]
+    pruned_x = head["speedups"].get("pruned", head["speedup"])
     print(f"headline: hosts={head['num_hosts']} policy={head['policy']} "
-          f"{head['events_per_s']:.0f} ev/s, {head['speedup']:.2f}x over naive")
+          f"{head['events_per_s']:.0f} ev/s, pruned {pruned_x:.2f}x / "
+          f"incremental {head['speedup']:.2f}x over naive")
+    for line in crossover_report(payload):
+        print(f"CROSSOVER: {line}")
     if args.out:
         Path(args.out).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -453,6 +480,8 @@ def _cmd_bench(args) -> int:
         print(f"wrote results to {args.out}")
     if args.check:
         baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        for line in crossover_report(baseline):
+            print(f"baseline CROSSOVER: {line}")
         problems = compare_engine_bench(payload, baseline, tolerance=args.tolerance)
         if problems:
             for problem in problems:

@@ -583,36 +583,36 @@ class MutableStateRule(Rule):
 
 
 # ---------------------------------------------------------------------------
-# R007 — kernel signature parity (vectorpool vs refkernel)
+# R007 — kernel signature parity (vectorpool vs refkernel/prunekernel)
 # ---------------------------------------------------------------------------
 
 
 class KernelParityRule(Rule):
     rule_id = "R007"
-    title = "vectorpool / refkernel decision surfaces must match"
+    title = "alternate-kernel decision surfaces must match VectorCluster"
     hint = (
-        "keep VectorCluster.<name> and refkernel.naive_<name> parameter "
-        "names, order and defaults identical — the golden-trace suite "
-        "compares the two kernels call-for-call"
+        "keep VectorCluster.<name> and refkernel.naive_<name> / "
+        "prunekernel.pruned_<name> parameter names, order and defaults "
+        "identical — the golden-trace and kernel-equivalence suites "
+        "compare the kernels call-for-call"
     )
 
     ref_module = "repro.simulator.refkernel"
     vec_module = "repro.simulator.vectorpool"
     vec_class = "VectorCluster"
     naive_prefix = "naive_"
+    #: Every (module, function prefix, label) whose ``<prefix><name>``
+    #: free functions mirror a ``VectorCluster.<name>`` method.
+    kernel_modules: tuple[tuple[str, str, str], ...] = (
+        (ref_module, naive_prefix, "refkernel"),
+        ("repro.simulator.prunekernel", "pruned_", "prunekernel"),
+    )
 
     def check_project(self, ctxs: Sequence[ModuleContext]) -> list[Finding]:
         by_module = {c.module: c for c in ctxs}
-        ref = by_module.get(self.ref_module)
         vec = by_module.get(self.vec_module)
-        if ref is None or vec is None:
+        if vec is None:
             return []  # partial lint run: nothing to compare against
-        naive = {
-            node.name[len(self.naive_prefix):]: node
-            for node in ref.tree.body
-            if isinstance(node, ast.FunctionDef)
-            and node.name.startswith(self.naive_prefix)
-        }
         cls = next(
             (
                 node
@@ -633,30 +633,41 @@ class KernelParityRule(Rule):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
         found: list[Finding] = []
-        for name, fn in sorted(naive.items()):
-            method = methods.get(name)
-            if method is None:
-                found.append(
-                    ref.finding(
-                        self,
-                        fn,
-                        f"refkernel.{fn.name} has no {self.vec_class}.{name} "
-                        "counterpart",
+        for module, prefix, label in self.kernel_modules:
+            ref = by_module.get(module)
+            if ref is None:
+                continue  # partial lint run
+            mirrors = {
+                node.name[len(prefix):]: node
+                for node in ref.tree.body
+                if isinstance(node, ast.FunctionDef)
+                and node.name.startswith(prefix)
+                and not node.name[len(prefix):].startswith("_")
+            }
+            for name, fn in sorted(mirrors.items()):
+                method = methods.get(name)
+                if method is None:
+                    found.append(
+                        ref.finding(
+                            self,
+                            fn,
+                            f"{label}.{fn.name} has no {self.vec_class}.{name} "
+                            "counterpart",
+                        )
                     )
-                )
-                continue
-            ref_sig = self._signature(fn)
-            vec_sig = self._signature(method)
-            if ref_sig != vec_sig:
-                found.append(
-                    ref.finding(
-                        self,
-                        fn,
-                        f"signature drift on {name}: refkernel.{fn.name}"
-                        f"({', '.join(ref_sig)}) vs {self.vec_class}.{name}"
-                        f"({', '.join(vec_sig)})",
+                    continue
+                ref_sig = self._signature(fn)
+                vec_sig = self._signature(method)
+                if ref_sig != vec_sig:
+                    found.append(
+                        ref.finding(
+                            self,
+                            fn,
+                            f"signature drift on {name}: {label}.{fn.name}"
+                            f"({', '.join(ref_sig)}) vs {self.vec_class}.{name}"
+                            f"({', '.join(vec_sig)})",
+                        )
                     )
-                )
         return found
 
     @staticmethod

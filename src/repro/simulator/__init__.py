@@ -7,7 +7,14 @@ from repro.simulator.engine import (
     Timeline,
     build_hosts,
 )
-from repro.simulator.events import Event, EventKind, EventQueue, workload_events
+from repro.simulator.conformance import result_stream
+from repro.simulator.events import (
+    Event,
+    EventKind,
+    EventQueue,
+    iter_event_batches,
+    workload_events,
+)
 from repro.simulator.faults import FaultReport, FaultySimulation, HostFailure
 from repro.simulator.metrics import (
     UnallocatedShares,
@@ -30,6 +37,8 @@ __all__ = [
     "EventKind",
     "EventQueue",
     "workload_events",
+    "iter_event_batches",
+    "result_stream",
     "HostFailure",
     "FaultySimulation",
     "FaultReport",

@@ -21,6 +21,7 @@ __all__ = [
     "EventQueue",
     "workload_events",
     "workload_event_list",
+    "iter_event_batches",
 ]
 
 
@@ -106,3 +107,34 @@ def workload_event_list(workload: list[VMRequest]) -> list[Event]:
             seq += 1
     events.sort(key=lambda e: (e.time, e.kind, e.seq))
     return events
+
+
+def iter_event_batches(
+    events: list[Event],
+) -> Iterator[tuple[list[Event], list[Event]]]:
+    """Group a time-ordered event list into same-timestamp batches.
+
+    Yields ``(departures, arrivals)`` per distinct timestamp, in
+    timestamp order.  Concatenating every batch reproduces ``events``
+    exactly: within a timestamp the total order ``(time, kind, seq)``
+    already places all departures (kind 0) before all arrivals (kind 1),
+    so the split is a cut, not a reorder.  Timestamps are grouped by
+    exact float equality — the same comparison the event ordering uses,
+    so "same batch" and "tied in the queue" are the same predicate.
+
+    The vector engine drains each batch through one grouped dispatch
+    (bulk departures, then arrivals) instead of per-event dispatch,
+    amortising cache synchronisation across the batch.
+    """
+    n = len(events)
+    i = 0
+    while i < n:
+        t = events[i].time
+        j = i
+        while j < n and events[j].time == t:  # reprolint: disable=R005
+            j += 1
+        k = i
+        while k < j and events[k].kind == EventKind.DEPARTURE:
+            k += 1
+        yield events[i:k], events[k:j]
+        i = j

@@ -1,0 +1,232 @@
+"""Hierarchical candidate-pruning kernel (``kernel="pruned"``).
+
+The incremental kernel (:mod:`repro.simulator.vectorpool`) made the
+hot path allocation-free and event-proportional, but ``select()`` is
+still *linear in the host count*: scored policies end in an ``argmax``
+over the full masked-score array, and ``first_fit`` scans the per-level
+candidate mask block by block.  At 100k hosts those O(n) sweeps are
+the whole event budget.
+
+This module makes selection **sublinear** by partitioning the fleet
+into fixed blocks of :data:`PRUNE_BLOCK` hosts and maintaining, per
+partition, the small summaries that let ``select()`` touch only a
+candidate slice:
+
+* **Partition maxima** (scored policies) — every cached VM shape
+  already keeps its masked score vector ``where(feasible, scores,
+  -inf)`` up to date through the mutation log; the pruned kernel
+  additionally keeps ``blockmax[b] = masked[b*B:(b+1)*B].max()``.  The
+  argmax then costs ``O(n/B + B)`` instead of ``O(n)``: argmax over
+  the partition maxima finds the first block attaining the global
+  maximum, argmax inside that one block finds the winning host.  Both
+  argmaxes return the *first* maximal entry, so the composition picks
+  exactly the host ``np.argmax`` would — same bits, same tie-breaks.
+
+* **Candidate counters** (``first_fit``) — per (level, block) counts
+  of hosts whose cached candidate bit is set.  The block scan skips
+  every partition whose counter is zero without touching the mask, so
+  a nearly-full fleet costs ``O(n/B)`` per miss instead of ``O(n)``.
+
+Invalidation is lazy and rides the structures that already exist:
+score partitions are refreshed from the same mutation-log replay that
+refreshes the masked vectors (only the touched blocks are reduced
+again), and candidate counters are adjusted bit-by-bit inside the
+dirty-host candidate refresh.  When a replay finds the log too far
+gone (more than a quarter of the fleet touched, bulk ``invalidate()``,
+``set_effective_capacity`` rewrites, cache-capacity evictions) the
+kernel **falls back to the full vectorized scan** and rebuilds the
+partition summaries from scratch — correctness never depends on the
+summaries, only speed does.
+
+Every number the pruned kernel compares or returns is produced by the
+*incremental kernel's own arithmetic* (`_masked_scores`,
+`_refresh_shape`, `_feasibility_block`); this module only reorders
+*which hosts get looked at*.  That is why the pruned kernel is
+bit-identical to ``incremental`` and ``naive`` — a contract enforced
+by the three-way kernel-equivalence property suite, the golden-trace
+corpus, and the scale-tier conformance fixtures
+(``tests/fixtures/golden/scale/``).
+
+The reprolint rule R007 extends its signature-parity check to this
+module: every ``pruned_<name>`` function must keep the parameter
+names, order and defaults of ``VectorCluster.<name>``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.core.types import VMRequest
+    from repro.simulator.vectorpool import VectorCluster
+
+__all__ = [
+    "PRUNE_BLOCK",
+    "PruneState",
+    "pruned_select",
+    "pruned_first_feasible",
+]
+
+#: Hosts per partition.  ``select()`` costs ``O(n/B + B)``, so the
+#: sweet spot is near ``sqrt(n)``; 256 keeps both sides of the split
+#: in the hundreds across the whole 5k-100k bench range while staying
+#: a no-op for small clusters (one partition == the old full scan).
+PRUNE_BLOCK = 256
+
+
+class PruneState:
+    """Partition bookkeeping attached to a ``kernel="pruned"`` cluster.
+
+    Holds the geometry (block size, ``reduceat`` offsets) and the
+    per-(level, partition) candidate counters; the per-shape partition
+    maxima live inside the shape-cache entries themselves (they share
+    the entry's lifetime and mutation-log position).
+    """
+
+    __slots__ = ("block", "num_blocks", "starts", "cand_counts")
+
+    def __init__(self, num_hosts: int, num_levels: int, block: int = PRUNE_BLOCK):
+        self.block = block
+        self.num_blocks = (num_hosts + block - 1) // block
+        #: Partition start offsets, the ``np.{maximum,add}.reduceat``
+        #: index vector for whole-structure rebuilds.
+        self.starts = np.arange(0, num_hosts, block, dtype=np.intp)
+        #: ``cand_counts[li, b]`` — number of set candidate bits for
+        #: level ``li`` in partition ``b``.  Zero means "no host in
+        #: this partition can possibly admit a VM of this level", the
+        #: first-fit skip condition.
+        self.cand_counts = np.zeros((num_levels, self.num_blocks), dtype=np.int64)
+
+    # -- partition maxima (scored policies) --------------------------------
+
+    def block_maxima(self, masked: np.ndarray) -> np.ndarray:
+        """Fresh per-partition maxima of a masked score vector."""
+        return np.maximum.reduceat(masked, self.starts)
+
+    def update_block_maxima(
+        self, masked: np.ndarray, blockmax: np.ndarray, idx: np.ndarray
+    ) -> None:
+        """Re-reduce only the partitions containing hosts in ``idx``.
+
+        ``masked`` has already been refreshed at ``idx``; partitions
+        not represented in ``idx`` kept every input unchanged, so their
+        maxima are still exact.
+        """
+        n = masked.shape[0]
+        block = self.block
+        for b in np.unique(idx // block):
+            lo = int(b) * block
+            hi = min(lo + block, n)
+            blockmax[b] = masked[lo:hi].max()
+
+    def argmax(self, masked: np.ndarray, blockmax: np.ndarray) -> int:
+        """``int(np.argmax(masked))`` in ``O(n/B + B)``.
+
+        ``np.argmax`` returns the first maximal entry.  The first
+        partition attaining the global maximum necessarily contains
+        the first maximal host (any earlier host with that value would
+        have lifted its own partition's maximum), and the in-partition
+        argmax returns the first maximal host within it — so the
+        composition is exact, ties and all.
+        """
+        b = int(np.argmax(blockmax))
+        lo = b * self.block
+        hi = min(lo + self.block, masked.shape[0])
+        return lo + int(np.argmax(masked[lo:hi]))
+
+    # -- candidate counters (first_fit) ------------------------------------
+
+    def rebuild_cand_counts(self, cand: np.ndarray) -> None:
+        """Recount every partition from a freshly rebuilt mask."""
+        np.add.reduceat(
+            cand.astype(np.int64), self.starts, axis=1, out=self.cand_counts
+        )
+
+    def adjust_cand_bit(self, li: int, host: int, old: bool, new: bool) -> None:
+        """Single-bit counter maintenance (the dirty-host path)."""
+        if old != new:
+            self.cand_counts[li, host // self.block] += 1 if new else -1
+
+
+def pruned_select(cluster: "VectorCluster", vm: "VMRequest", policy: str) -> Optional[int]:
+    """Best feasible host under ``policy``; bit-identical to
+    :meth:`VectorCluster.select`, sublinear in hosts.
+
+    Scored policies reuse the incremental kernel's shape cache — same
+    keys, same masked vectors, same mutation-log replay — with a
+    per-partition maxima array appended to each entry.  Shapes the
+    cache cannot serve (non-uniform memory ratios, capacity overflow)
+    take the incremental kernel's full-scan path unchanged.
+    """
+    if policy == "first_fit":
+        return pruned_first_feasible(cluster, vm)
+    if not cluster._uniform_mem:
+        feasible, _growth, _own = cluster.feasibility(vm)
+        if not feasible.any():
+            return None
+        return cluster.select_best(feasible, vm, policy)
+    state = cluster._prune
+    assert state is not None  # kernel="pruned" always builds one
+    li = cluster._vm_level_index(vm)
+    # Same cache key as the incremental kernel (see select() there for
+    # why the raw ratio participates).
+    key = (li, vm.level.ratio, vm.spec.vcpus, vm.spec.mem_gb, policy)
+    entry = cluster._shape_cache.get(key)
+    pos = len(cluster._mutlog)
+    if entry is None:
+        if len(cluster._shape_cache) >= cluster._shape_cache_cap:
+            feasible, _growth, _own = cluster.feasibility(vm)
+            if not feasible.any():
+                return None
+            return cluster.select_best(feasible, vm, policy)
+        masked = cluster._masked_scores(vm, li, policy, None)
+        entry = [pos, masked, state.block_maxima(masked)]
+        cluster._shape_cache[key] = entry
+    elif entry[0] < pos:
+        touched = cluster._mutlog[entry[0] : pos]
+        if len(touched) * 4 >= cluster.num_hosts:
+            # The log is too far gone: full vectorized rebuild of both
+            # the masked vector and its partition maxima (the "heap
+            # ran dry" fallback).
+            cluster._masked_scores(vm, li, policy, entry[1])
+            entry[2] = state.block_maxima(entry[1])
+        else:
+            cluster._sync()
+            idx = np.fromiter(sorted(set(touched)), dtype=np.intp)
+            cluster._refresh_shape(entry[1], idx, vm, li, policy)
+            state.update_block_maxima(entry[1], entry[2], idx)
+        entry[0] = pos
+    j = state.argmax(entry[1], entry[2])
+    best = entry[1].item(j)
+    if math.isinf(best) and best < 0:
+        return None
+    return int(j)
+
+
+def pruned_first_feasible(cluster: "VectorCluster", vm: "VMRequest") -> Optional[int]:
+    """Lowest-index feasible host; bit-identical to
+    :meth:`VectorCluster.first_feasible`, skipping empty partitions.
+
+    The candidate bit is a *necessary* admission condition, so a
+    partition whose counter is zero provably contains no feasible host
+    and is skipped without reading the mask.  Partitions are visited in
+    ascending order and exact feasibility decides inside each, so the
+    first hit is the global lowest-index feasible host.
+    """
+    li = cluster._vm_level_index(vm)
+    cluster._sync_cand()
+    state = cluster._prune
+    assert state is not None
+    counts = state.cand_counts[li]
+    n = cluster.num_hosts
+    block = state.block
+    for b in np.flatnonzero(counts):
+        lo = int(b) * block
+        hi = min(lo + block, n)
+        feasible = cluster._feasibility_block(vm, li, slice(lo, hi))
+        if feasible.any():
+            return lo + int(np.argmax(feasible))
+    return None

@@ -1,7 +1,11 @@
-"""Tests of the event queue ordering."""
+"""Tests of the event queue ordering and same-timestamp batching."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
 
 from repro.core import LEVEL_1_1, VMRequest, VMSpec
 from repro.simulator import EventKind, EventQueue, workload_events
+from repro.simulator.events import iter_event_batches, workload_event_list
 
 
 def vm(vm_id, arrival=0.0, departure=None):
@@ -54,3 +58,61 @@ def test_queue_len_and_bool():
     assert q and len(q) == 1
     q.pop()
     assert not q
+
+
+def test_batches_split_departures_from_arrivals_per_timestamp():
+    trace = [
+        vm("a", 0.0, 2.0),
+        vm("b", 0.0, 5.0),
+        vm("c", 2.0, None),  # arrives exactly when "a" departs
+    ]
+    batches = list(iter_event_batches(workload_event_list(trace)))
+    assert [(len(d), len(a)) for d, a in batches] == [(0, 2), (1, 1), (1, 0)]
+    deps, arrs = batches[1]
+    assert deps[0].vm.vm_id == "a" and deps[0].kind is EventKind.DEPARTURE
+    assert arrs[0].vm.vm_id == "c" and arrs[0].kind is EventKind.ARRIVAL
+
+
+def test_batch_concatenation_reproduces_the_event_list():
+    trace = [vm(f"vm-{i}", float(i % 3), float(i % 3) + 2.0) for i in range(12)]
+    events = workload_event_list(trace)
+    flattened = [
+        e for deps, arrs in iter_event_batches(events) for e in (*deps, *arrs)
+    ]
+    assert flattened == events
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),  # arrival tick
+            st.integers(min_value=0, max_value=5),  # lifetime ticks (0: forever)
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_batches_partition_any_trace_without_reordering(arrivals):
+    trace = [
+        vm(
+            f"vm-{i:02d}",
+            float(t),
+            None if life == 0 else float(t + life),
+        )
+        for i, (t, life) in enumerate(arrivals)
+    ]
+    events = workload_event_list(trace)
+    batches = list(iter_event_batches(events))
+    # Lossless partition, in order.
+    flattened = [e for d, a in batches for e in (*d, *a)]
+    assert flattened == events
+    # Each batch holds exactly one timestamp, kinds fully split.
+    for deps, arrs in batches:
+        assert deps or arrs
+        times = {e.time for e in (*deps, *arrs)}
+        assert len(times) == 1
+        assert all(e.kind is EventKind.DEPARTURE for e in deps)
+        assert all(e.kind is EventKind.ARRIVAL for e in arrs)
+    # Batches are strictly time-ordered.
+    batch_times = [(d or a)[0].time for d, a in batches]
+    assert batch_times == sorted(set(batch_times))

@@ -1,0 +1,246 @@
+"""Invariant property tests for the pruned kernel's partition summaries.
+
+The pruned kernel is only allowed to *skip* work, never to change an
+answer, so its two summary structures carry hard invariants against
+the full arrays they summarise:
+
+* per-shape **partition maxima** — after any mutation-log replay,
+  ``blockmax[b]`` must equal the true maximum of its masked-score
+  slice (a stale maximum could hide the argmax host inside an
+  unvisited partition), and the two-stage argmax must land exactly on
+  ``np.argmax(masked)``, first-maximal tie-breaks included;
+* per-level **candidate counters** — ``cand_counts[li, b]`` must equal
+  the popcount of its candidate-mask slice, and the mask itself must
+  stay a superset of exact feasibility, because a zero counter makes
+  ``first_fit`` skip the partition without looking: no feasible host
+  may be silently unreachable.
+
+The suite drives a pruned cluster through random operation sequences
+(hypothesis) and checks the invariants after every replay-triggering
+``select``; plus directed unit tests for the ``PruneState`` primitives
+over adversarial arrays (all ``-inf``, ties across partition
+boundaries, ragged final partition).
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import OversubscriptionLevel, SlackVMConfig, VMRequest, VMSpec
+from repro.hardware import MachineSpec
+from repro.simulator.prunekernel import PruneState
+from repro.simulator.vectorpool import POLICIES, VectorCluster
+
+RATIOS = (1.0, 2.0, 3.0)
+
+
+# -- PruneState primitives ---------------------------------------------
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.just(-np.inf),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    block=st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=200, deadline=None)
+def test_partition_argmax_matches_numpy(values, block):
+    masked = np.asarray(values, dtype=float)
+    state = PruneState(masked.shape[0], 1, block=block)
+    blockmax = state.block_maxima(masked)
+    assert np.array_equal(
+        blockmax, [masked[i : i + block].max() for i in range(0, len(values), block)]
+    )
+    assert state.argmax(masked, blockmax) == int(np.argmax(masked))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    block=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_incremental_blockmax_update_stays_exact(n, block, data):
+    masked = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(min_value=-100, max_value=100),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=float,
+    )
+    state = PruneState(n, 1, block=block)
+    blockmax = state.block_maxima(masked)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+        k = data.draw(st.integers(min_value=1, max_value=min(n, 6)))
+        idx = np.asarray(
+            sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n - 1),
+                        min_size=k,
+                        max_size=k,
+                    )
+                )
+            ),
+            dtype=np.intp,
+        )
+        masked[idx] = data.draw(
+            st.lists(
+                st.one_of(
+                    st.floats(min_value=-100, max_value=100), st.just(-np.inf)
+                ),
+                min_size=len(idx),
+                max_size=len(idx),
+            )
+        )
+        state.update_block_maxima(masked, blockmax, idx)
+        assert np.array_equal(blockmax, state.block_maxima(masked))
+        assert state.argmax(masked, blockmax) == int(np.argmax(masked))
+
+
+def test_ties_across_partition_boundaries_pick_first():
+    # Equal maxima in partitions 0 and 2: np.argmax semantics demand
+    # the first one, through the two-stage path as well.
+    masked = np.array([1.0, 5.0, 0.0, 0.0, 3.0, 5.0], dtype=float)
+    state = PruneState(6, 1, block=2)
+    assert state.argmax(masked, state.block_maxima(masked)) == 1
+
+
+def test_all_minus_inf_returns_first_index():
+    masked = np.full(7, -np.inf)
+    state = PruneState(7, 1, block=3)
+    assert state.argmax(masked, state.block_maxima(masked)) == 0
+
+
+def test_cand_counter_primitives():
+    state = PruneState(10, 2, block=4)  # ragged: blocks of 4, 4, 2
+    cand = np.zeros((2, 10), dtype=bool)
+    cand[0, [0, 3, 9]] = True
+    cand[1, [4]] = True
+    state.rebuild_cand_counts(cand)
+    assert state.cand_counts.tolist() == [[2, 0, 1], [0, 1, 0]]
+    state.adjust_cand_bit(0, 5, False, True)
+    assert state.cand_counts[0].tolist() == [2, 1, 1]
+    state.adjust_cand_bit(0, 5, True, True)  # no-op transition
+    assert state.cand_counts[0].tolist() == [2, 1, 1]
+    state.adjust_cand_bit(0, 9, True, False)
+    assert state.cand_counts[0].tolist() == [2, 1, 0]
+
+
+# -- whole-cluster invariants under random operation streams -----------
+
+
+def _vm(i: int, vcpus: int, mem: float, ratio: float) -> VMRequest:
+    return VMRequest(
+        vm_id=f"vm-{i:03d}",
+        spec=VMSpec(vcpus, mem),
+        level=OversubscriptionLevel(ratio),
+    )
+
+
+def _check_summary_invariants(cluster: VectorCluster) -> None:
+    state = cluster._prune
+    assert state is not None
+    # Every cached shape that is fully replayed (entry[0] == log
+    # position) must carry exact partition maxima for its masked
+    # vector — the "no feasible host silently unreachable" guarantee
+    # for scored policies.
+    pos = len(cluster._mutlog)
+    for key, entry in cluster._shape_cache.items():
+        if entry[0] != pos or len(entry) < 3:
+            continue
+        assert np.array_equal(entry[2], state.block_maxima(entry[1])), key
+        assert state.argmax(entry[1], entry[2]) == int(np.argmax(entry[1])), key
+    # Candidate counters must agree with the mask they summarise, and
+    # the mask must stay a superset of exact per-level feasibility.
+    cluster._sync_cand()
+    expect = np.add.reduceat(
+        cluster._cand.astype(np.int64), state.starts, axis=1
+    )
+    assert np.array_equal(state.cand_counts, expect)
+
+
+def _check_cand_superset(cluster: VectorCluster, vm: VMRequest) -> None:
+    li = cluster._vm_level_index(vm)
+    cluster._sync_cand()
+    feasible = cluster._feasibility_block(vm, li, slice(0, cluster.num_hosts))
+    unreachable = feasible & ~cluster._cand[li]
+    assert not unreachable.any(), (vm, np.flatnonzero(unreachable))
+
+
+@st.composite
+def op_stream(draw):
+    num_hosts = draw(st.integers(min_value=1, max_value=10))
+    machines = [
+        MachineSpec(
+            f"pm-{i}",
+            draw(st.sampled_from([4, 8, 16])),
+            float(draw(st.sampled_from([16, 32, 64]))),
+        )
+        for i in range(num_hosts)
+    ]
+    num_ops = draw(st.integers(min_value=1, max_value=30))
+    ops = []
+    for i in range(num_ops):
+        kind = draw(st.sampled_from(["arrive"] * 3 + ["depart", "kill", "capacity"]))
+        if kind == "arrive":
+            ops.append(
+                (
+                    "arrive",
+                    _vm(
+                        i,
+                        draw(st.sampled_from([1, 2, 4])),
+                        float(draw(st.sampled_from([1, 2, 4, 8]))),
+                        draw(st.sampled_from(RATIOS)),
+                    ),
+                )
+            )
+        elif kind == "depart":
+            ops.append(("depart", draw(st.integers(min_value=0, max_value=10**6))))
+        elif kind == "kill":
+            ops.append(("kill", draw(st.integers(min_value=0, max_value=num_hosts - 1))))
+        else:
+            ops.append(("capacity", draw(st.sampled_from([0.5, 1.0, 1.5]))))
+    return machines, ops
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(case=op_stream(), policy=st.sampled_from(POLICIES))
+def test_partition_summaries_stay_consistent(case, policy):
+    machines, ops = case
+    cluster = VectorCluster(machines, SlackVMConfig(), kernel="pruned")
+    dead: set[int] = set()
+    for op, arg in ops:
+        if op == "arrive":
+            host = cluster.select(arg, policy)
+            _check_summary_invariants(cluster)
+            _check_cand_superset(cluster, arg)
+            if host is not None:
+                cluster.deploy(arg, host)
+        elif op == "depart":
+            placed = cluster.placed_vm_ids
+            if placed:
+                cluster.remove(placed[arg % len(placed)])
+        elif op == "kill":
+            if arg in dead:
+                continue
+            for vm_id in cluster.vms_on(arg):
+                cluster.remove(vm_id)
+            cluster.kill_host(arg)
+            dead.add(arg)
+        else:
+            cluster.set_effective_capacity(cluster.physical_cpu * arg)
+    probe = _vm(10**6, 1, 2.0, 2.0)
+    cluster.select(probe, policy)
+    _check_summary_invariants(cluster)
+    _check_cand_superset(cluster, probe)
