@@ -20,9 +20,15 @@ self-contained Python library:
 * :mod:`repro.analysis` — experiment drivers and report rendering for
   Figures 3 & 4;
 * :mod:`repro.migration` — the paper's future-work live-migration
-  rebalancer.
+  rebalancer;
+* :mod:`repro.api` — the unified :class:`~repro.api.RunSpec` /
+  :func:`~repro.api.run` entry point every front end constructs
+  through;
+* :mod:`repro.sharding` — the two-level dispatcher fanning one
+  datacenter out over N vector-engine shards.
 """
 
+from repro.api import RunSpec, run
 from repro.core.config import SlackVMConfig
 from repro.core.facade import SlackVM
 from repro.core.types import (
@@ -39,6 +45,8 @@ from repro.core.types import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunSpec",
+    "run",
     "SlackVM",
     "SlackVMConfig",
     "ResourceVector",

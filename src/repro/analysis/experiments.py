@@ -64,7 +64,7 @@ class DistributionOutcome:
         return pm_savings_percent(self.baseline_pms, self.slackvm_pms)
 
 
-def evaluate_distribution(
+def _evaluate_catalog(
     catalog: Catalog,
     mix: LevelMix | str,
     machine: MachineSpec = SIM_WORKER,
@@ -74,8 +74,21 @@ def evaluate_distribution(
     pooling: bool = True,
     baseline_policy: str = "first_fit",
     workload: Sequence[VMRequest] | None = None,
+    kernel: str = "incremental",
+    shards: int = 1,
+    router: str = "hash",
+    workers: int = 0,
 ) -> DistributionOutcome:
-    """Run the full §VII-B protocol for one (provider, mix) point."""
+    """Run the full §VII-B protocol for one (provider, mix) point.
+
+    The shared-cluster search runs on ``kernel`` and, for
+    ``shards > 1``, fans each probe out through
+    :class:`repro.sharding.ShardedSimulation` (shard count clamped to
+    the probed cluster size, since the sizing search explores clusters
+    smaller than the requested geometry).  The per-level dedicated
+    baselines keep the default engine — they exist to reproduce the
+    paper's reference numbers, not to be fast.
+    """
     mix_tuple = (
         DISTRIBUTIONS[mix.upper()] if isinstance(mix, str) else tuple(mix)  # type: ignore[arg-type]
     )
@@ -104,7 +117,29 @@ def evaluate_distribution(
     shared_cfg = SlackVMConfig(
         levels=tuple(OversubscriptionLevel(r) for r in present), pooling=pooling
     )
-    sized_shared = minimal_cluster(workload, machine, policy=policy, config=shared_cfg)
+    simulation_factory = None
+    if kernel != "incremental" or shards > 1:
+        from repro.sharding.dispatcher import ShardedSimulation
+
+        def simulation_factory(machines: list[MachineSpec]) -> ShardedSimulation:
+            return ShardedSimulation(
+                machines,
+                shared_cfg,
+                policy=policy,
+                kernel=kernel,
+                shards=min(shards, len(machines)),
+                router=router,
+                workers=workers,
+                seed=seed,
+            )
+
+    sized_shared = minimal_cluster(
+        workload,
+        machine,
+        policy=policy,
+        config=shared_cfg,
+        simulation_factory=simulation_factory,
+    )
 
     return DistributionOutcome(
         provider=catalog.name,
@@ -115,6 +150,44 @@ def evaluate_distribution(
         baseline_unallocated=combine_unallocated(baseline_results),
         slackvm_unallocated=unallocated_at_peak(sized_shared.result),
         pooled_placements=sized_shared.result.pooled_placements,
+    )
+
+
+def evaluate_distribution(
+    catalog: Catalog,
+    mix: LevelMix | str,
+    machine: MachineSpec = SIM_WORKER,
+    target_population: int = 500,
+    seed: int = 0,
+    policy: str = "progress",
+    pooling: bool = True,
+    baseline_policy: str = "first_fit",
+    workload: Sequence[VMRequest] | None = None,
+) -> DistributionOutcome:
+    """Deprecated driver — parse a :class:`repro.api.RunSpec` instead.
+
+    Kept working for one release; delegates to the internal
+    :func:`_evaluate_catalog` (identical results).  New code should
+    build a spec and call :func:`repro.api.evaluate`.
+    """
+    import warnings
+
+    warnings.warn(
+        "evaluate_distribution() is deprecated; build a repro.api.RunSpec "
+        "and call repro.api.evaluate(spec) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _evaluate_catalog(
+        catalog,
+        mix,
+        machine=machine,
+        target_population=target_population,
+        seed=seed,
+        policy=policy,
+        pooling=pooling,
+        baseline_policy=baseline_policy,
+        workload=workload,
     )
 
 
@@ -147,7 +220,7 @@ def fig3_series(
         )
     mixes = dict(mixes) if mixes is not None else dict(DISTRIBUTIONS)
     return {
-        label: evaluate_distribution(
+        label: _evaluate_catalog(
             catalog,
             mix,
             machine=machine,
@@ -190,7 +263,7 @@ def fig4_grid(
     out: dict[str, float] = {}
     for label, mix in mixes.items():
         vals = [
-            evaluate_distribution(
+            _evaluate_catalog(
                 catalog,
                 mix,
                 machine=machine,

@@ -1,0 +1,196 @@
+"""The unified run specification — one frozen value names one run.
+
+Every front end (CLI handlers, the sweep runner's cells, the engine
+bench harness) used to hand-thread its own subset of a dozen
+positional knobs into :class:`VectorSimulation`, ``evaluate_distribution``
+and friends.  :class:`RunSpec` is the single description they all parse
+into now: cluster topology, workload recipe, scheduling policy, kernel,
+oversubscription strategy, shard geometry and seed, with validation at
+construction so a bad knob fails before any work starts.
+
+The spec is *declarative* — building workloads, machines and engines
+from it lives in :mod:`repro.api.run`.  ``to_dict``/``from_dict``
+round-trip through JSON primitives and :meth:`fingerprint` hashes the
+canonical form, the same discipline as
+:class:`repro.runner.spec.SweepSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from hashlib import sha256
+from json import dumps
+from typing import Optional, Union
+
+from repro.core.errors import ConfigError
+from repro.oversub.estimators import STRATEGIES
+from repro.sharding.router import ROUTERS
+from repro.simulator.vectorpool import KERNELS, POLICIES
+from repro.workload.catalog import PROVIDERS
+from repro.workload.distributions import DISTRIBUTIONS, LevelMix
+
+__all__ = ["ENGINES", "RunSpec", "SPEC_VERSION"]
+
+#: Simulation engines selectable by :attr:`RunSpec.engine`.
+ENGINES = ("vector", "object")
+
+#: Bump when the field set changes incompatibly (fingerprints shift).
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated run, fully described.
+
+    ``num_hosts=0`` means *auto-size*: build the smallest demand-derived
+    cluster with 15% headroom (see :func:`repro.api.run.build_machines`).
+    ``mix`` is a paper distribution letter (``"F"``) or a
+    ``(1:1, 2:1, 3:1)`` percent triple.  ``oversub=None`` keeps static
+    levels; a strategy name from :data:`repro.oversub.STRATEGIES`
+    activates the dynamic controller.  ``shards=1`` is the plain
+    single-process engine; higher counts fan out through
+    :class:`repro.sharding.ShardedSimulation` (``workers=0`` → one
+    process per shard).
+    """
+
+    # -- workload ------------------------------------------------------------
+    provider: str = "azure"
+    mix: Union[str, LevelMix] = (100.0, 0.0, 0.0)
+    target_population: int = 500
+    seed: int = 0
+
+    # -- topology ------------------------------------------------------------
+    num_hosts: int = 0
+    host_cpus: int = 32
+    host_mem_gb: float = 128.0
+
+    # -- scheduling ----------------------------------------------------------
+    policy: str = "progress"
+    kernel: str = "incremental"
+    engine: str = "vector"
+    pooling: bool = True
+    fail_fast: bool = False
+
+    # -- dynamic oversubscription -------------------------------------------
+    oversub: Optional[str] = None
+    oversub_update_every: float = 3600.0
+
+    # -- sharding ------------------------------------------------------------
+    shards: int = 1
+    router: str = "hash"
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.mix, str):
+            if self.mix.upper() not in DISTRIBUTIONS:
+                raise ConfigError(
+                    f"unknown mix {self.mix!r}; expected a letter "
+                    f"{'/'.join(DISTRIBUTIONS)} or a percent triple"
+                )
+            object.__setattr__(self, "mix", self.mix.upper())
+        else:
+            mix = tuple(float(s) for s in self.mix)
+            if len(mix) != 3:
+                raise ConfigError(
+                    f"mix triple must have 3 shares, got {len(mix)}"
+                )
+            object.__setattr__(self, "mix", mix)
+        if self.provider not in PROVIDERS:
+            raise ConfigError(
+                f"unknown provider {self.provider!r}; "
+                f"expected one of {sorted(PROVIDERS)}"
+            )
+        if self.target_population <= 0:
+            raise ConfigError("target_population must be positive")
+        if self.num_hosts < 0:
+            raise ConfigError("num_hosts must be >= 0 (0 = auto-size)")
+        if self.host_cpus <= 0 or self.host_mem_gb <= 0:
+            raise ConfigError("host_cpus and host_mem_gb must be positive")
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.oversub is not None and self.oversub not in STRATEGIES:
+            raise ConfigError(
+                f"unknown oversub strategy {self.oversub!r}; "
+                f"expected one of {sorted(STRATEGIES)}"
+            )
+        if self.oversub_update_every <= 0:
+            raise ConfigError("oversub_update_every must be positive")
+        if self.shards < 1:
+            raise ConfigError(f"need at least one shard, got {self.shards}")
+        if self.router not in ROUTERS:
+            raise ConfigError(
+                f"unknown router {self.router!r}; expected one of {ROUTERS}"
+            )
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = one per shard)")
+        if self.num_hosts and self.shards > self.num_hosts:
+            raise ConfigError(
+                f"cannot split {self.num_hosts} hosts into {self.shards} shards"
+            )
+        if self.engine == "object" and self.shards > 1:
+            raise ConfigError("the object engine does not support sharding")
+        if self.shards > 1 and self.fail_fast:
+            raise ConfigError("fail_fast requires shards=1")
+        if self.shards > 1 and self.oversub is not None:
+            raise ConfigError("dynamic oversubscription requires shards=1")
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def mix_tuple(self) -> LevelMix:
+        """The mix resolved to its percent triple."""
+        if isinstance(self.mix, str):
+            return DISTRIBUTIONS[self.mix]
+        return self.mix
+
+    @property
+    def mix_label(self) -> str:
+        """The mix's display label (letter, or the triple itself)."""
+        if isinstance(self.mix, str):
+            return self.mix
+        return ",".join(f"{s:g}" for s in self.mix)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {"version": SPEC_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ConfigError(
+                f"RunSpec version {version} is not supported "
+                f"(this build speaks {SPEC_VERSION})"
+            )
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - names - {"version"})
+        if unknown:
+            raise ConfigError(f"unknown RunSpec fields: {unknown}")
+        kwargs = {k: v for k, v in data.items() if k in names}
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        canon = dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)
+

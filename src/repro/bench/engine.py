@@ -21,11 +21,16 @@ rejections, pooling counts and timelines before its timing is trusted
 through :class:`repro.obs.metrics.MetricsRegistry` (the ``select_s``
 timer the engine already maintains), identically for every arm.
 
-The grid has two tiers.  **Standard** cells carry the full policy grid
-at the committed load factor; **scale** cells (``scale_hosts``,
+The grid has three tiers.  **Standard** cells carry the full policy
+grid at the committed load factor; **scale** cells (``scale_hosts``,
 typically 50k and 100k) run a policy subset at a reduced load factor so
 the naive baseline arm — milliseconds per event at 100k hosts — stays
-affordable, and report a peak-RSS memory column next to throughput.
+affordable, and report a peak-RSS memory column next to throughput;
+**shard** cells (``shard_hosts``) time the :mod:`repro.sharding`
+dispatcher against the single-process ``pruned`` kernel, one cell per
+shard count.  Every cell is constructed through
+:class:`repro.api.RunSpec` — the bench times exactly what
+``repro.api.run`` executes.
 ``peak_rss_mb`` is ``ru_maxrss``, the *process-lifetime high-water
 mark*: it never decreases across arms or cells, so read it as "the run
 up to and including this arm fit in this much memory", not as a
@@ -46,6 +51,7 @@ small-cluster crossover.
 
 from __future__ import annotations
 
+import os
 import platform
 import resource
 import sys
@@ -55,13 +61,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.api import RunSpec, build_machines, build_simulation, build_workload
 from repro.core.errors import ReproError
-from repro.hardware.machine import MachineSpec
 from repro.obs import names as metric_names
 from repro.obs.metrics import MetricsRegistry
-from repro.simulator.vectorpool import KERNELS, POLICIES, VectorSimulation
+from repro.simulator.vectorpool import KERNELS, POLICIES
 from repro.workload.catalog import PROVIDERS
-from repro.workload.generator import WorkloadParams, generate_workload
 
 __all__ = [
     "EngineBenchSpec",
@@ -73,7 +78,14 @@ __all__ = [
 #: Schema version of the JSON payload (bump on incompatible change).
 #: 2: per-kernel ``speedups`` + ``peak_rss_mb`` columns, scale-tier
 #: cells (``tier`` field, ``scale_*`` grid keys), third kernel.
-SCHEMA = 2
+#: 3: ``shards`` column on every cell, shard-tier cells (``shard_*``
+#: grid keys) timing the :mod:`repro.sharding` dispatcher against the
+#: single-process ``pruned`` kernel; cells construct through
+#: :class:`repro.api.RunSpec`.
+SCHEMA = 3
+
+#: The bench's fixed workload mix (1:1 / 2:1 / 3:1 percentages).
+_BENCH_MIX = (40.0, 30.0, 30.0)
 
 
 class BenchError(ReproError):
@@ -92,6 +104,15 @@ class EngineBenchSpec:
     only ``scale_policies`` at ``scale_vms_per_host`` load so the
     naive reference arm stays tractable at 100k hosts.  Empty (the
     default) skips the tier entirely.
+
+    ``shard_hosts`` adds the shard tier: each cell times the
+    :class:`repro.sharding.ShardedSimulation` dispatcher (hash router,
+    one worker process per shard) against the single-process ``pruned``
+    kernel on the same workload — the speedup the two-level
+    architecture buys over the fastest serial kernel.  The serial arm
+    gets the warmup slice; the sharded arm deliberately does not (its
+    workers are fresh processes either way, and its timing *includes*
+    pool start-up — that cost is real).
     """
 
     hosts: tuple[int, ...] = (500, 2000, 5000)
@@ -107,11 +128,16 @@ class EngineBenchSpec:
     scale_policies: tuple[str, ...] = ("first_fit", "best_fit", "progress")
     scale_vms_per_host: float = 0.5
     scale_warmup_vms: int = 200
+    shard_hosts: tuple[int, ...] = ()
+    shard_counts: tuple[int, ...] = (4,)
+    shard_policies: tuple[str, ...] = ("progress",)
+    shard_vms_per_host: float = 0.5
+    shard_warmup_vms: int = 200
 
     def __post_init__(self) -> None:
         unknown = [
             p
-            for p in (*self.policies, *self.scale_policies)
+            for p in (*self.policies, *self.scale_policies, *self.shard_policies)
             if p not in POLICIES
         ]
         if unknown:
@@ -125,6 +151,15 @@ class EngineBenchSpec:
         if any(n <= 0 for n in self.scale_hosts):
             raise BenchError(
                 f"scale hosts must be positive, got {self.scale_hosts}"
+            )
+        if any(n <= 0 for n in self.shard_hosts):
+            raise BenchError(
+                f"shard hosts must be positive, got {self.shard_hosts}"
+            )
+        if any(n < 2 for n in self.shard_counts):
+            raise BenchError(
+                f"shard counts must be >= 2 (1 is the serial arm), "
+                f"got {self.shard_counts}"
             )
 
 
@@ -148,6 +183,36 @@ def _peak_rss_mb() -> float:
     return peak / 1024.0
 
 
+def _cell_run_spec(
+    spec: EngineBenchSpec,
+    num_hosts: int,
+    policy: str,
+    kernel: str,
+    vms_per_host: float,
+    shards: int = 1,
+    workers: int = 1,
+) -> RunSpec:
+    """One benchmark arm as a :class:`repro.api.RunSpec`.
+
+    The spec is the sole construction path: workload, fleet and engine
+    all materialize from it through the :mod:`repro.api` builders, so
+    the bench times exactly what ``repro.api.run`` would execute.
+    """
+    return RunSpec(
+        provider=spec.provider,
+        mix=_BENCH_MIX,
+        target_population=max(1, round(vms_per_host * num_hosts)),
+        seed=spec.seed,
+        num_hosts=num_hosts,
+        host_cpus=spec.host_cpus,
+        host_mem_gb=spec.host_mem_gb,
+        policy=policy,
+        kernel=kernel,
+        shards=shards,
+        workers=workers,
+    )
+
+
 def _run_tier(
     spec: EngineBenchSpec,
     hosts: tuple[int, ...],
@@ -157,30 +222,25 @@ def _run_tier(
     tier: str,
     say: Callable[[str], None],
 ) -> list[dict]:
-    catalog = PROVIDERS[spec.provider]
     cells = []
     for num_hosts in hosts:
-        params = WorkloadParams(
-            catalog=catalog,
-            level_mix=(40, 30, 30),
-            target_population=max(1, round(vms_per_host * num_hosts)),
-            seed=spec.seed,
+        trace_spec = _cell_run_spec(
+            spec, num_hosts, policies[0], "pruned", vms_per_host
         )
-        workload = generate_workload(params)
+        workload = build_workload(trace_spec)
+        machines = build_machines(trace_spec)
         num_events = len(workload) + sum(
             1 for vm in workload if vm.departure is not None
         )
         warmup = workload[:warmup_vms]
-        machines = [
-            MachineSpec(f"bench-pm-{i}", spec.host_cpus, spec.host_mem_gb)
-            for i in range(num_hosts)
-        ]
         for policy in policies:
             arms = {}
             for kernel in KERNELS:
                 metrics = MetricsRegistry()
-                sim = VectorSimulation(
-                    machines, policy=policy, kernel=kernel, metrics=metrics
+                sim = build_simulation(
+                    _cell_run_spec(spec, num_hosts, policy, kernel, vms_per_host),
+                    machines,
+                    metrics=metrics,
                 )
                 sim.run(warmup)
                 t0 = perf_counter()
@@ -221,6 +281,7 @@ def _run_tier(
                     "num_hosts": num_hosts,
                     "policy": policy,
                     "tier": tier,
+                    "shards": 1,
                     "num_events": num_events,
                     "placed": len(result.placements),
                     "rejected": len(result.rejections),
@@ -245,6 +306,122 @@ def _run_tier(
     return cells
 
 
+def _run_shard_tier(
+    spec: EngineBenchSpec, say: Callable[[str], None]
+) -> list[dict]:
+    """Shard-tier cells: dispatcher-vs-serial on the ``pruned`` kernel.
+
+    The serial arm is the single-process ``pruned`` kernel (the fastest
+    serial configuration — the honest baseline); each shard count then
+    runs the same workload through the dispatcher with one worker
+    process per shard.  ``spec.verify`` replays the sharded run inline
+    (``workers=1``) and requires the result to match exactly — the
+    determinism contract, not a decision-equivalence claim: sharding
+    *changes* placement decisions (each VM only sees its shard's
+    hosts), so the cell also records the serial arm's placed count for
+    the routing-cost comparison.
+
+    Two speedups are recorded.  ``sharded`` is the measured pool
+    wall-clock ratio — on a machine with fewer cores than shards the
+    workers timeshare and this can drop below 1×.  ``critical_path``
+    divides the serial wall by the *slowest shard's* uncontended wall,
+    taken from the inline verify pass where shards run one at a time —
+    the wall-clock the pool converges to once every shard has its own
+    core.  Both come from the same run; neither is a projection.
+    """
+    cells = []
+    for num_hosts in spec.shard_hosts:
+        serial_spec = _cell_run_spec(
+            spec, num_hosts, spec.shard_policies[0], "pruned",
+            spec.shard_vms_per_host,
+        )
+        workload = build_workload(serial_spec)
+        machines = build_machines(serial_spec)
+        num_events = len(workload) + sum(
+            1 for vm in workload if vm.departure is not None
+        )
+        warmup = workload[: spec.shard_warmup_vms]
+        for policy in spec.shard_policies:
+            serial_spec = _cell_run_spec(
+                spec, num_hosts, policy, "pruned", spec.shard_vms_per_host
+            )
+            serial_sim = build_simulation(serial_spec, machines)
+            serial_sim.run(warmup)
+            t0 = perf_counter()
+            serial_result = serial_sim.run(workload)
+            serial_wall = perf_counter() - t0
+            serial_payload = {
+                "wall_s": serial_wall,
+                "events_per_s": num_events / serial_wall,
+                "peak_rss_mb": _peak_rss_mb(),
+            }
+            for shards in spec.shard_counts:
+                sharded_spec = serial_spec.replace(shards=shards, workers=shards)
+                sim = build_simulation(sharded_spec, machines)
+                t0 = perf_counter()
+                result = sim.run(workload)
+                wall_s = perf_counter() - t0
+                speedups = {"sharded": serial_wall / wall_s}
+                kernels = {
+                    "serial": dict(serial_payload),
+                    "sharded": {
+                        "wall_s": wall_s,
+                        "events_per_s": num_events / wall_s,
+                        "peak_rss_mb": _peak_rss_mb(),
+                    },
+                }
+                if spec.verify:
+                    inline_sim = build_simulation(
+                        sharded_spec.replace(workers=1), machines
+                    )
+                    inline = inline_sim.run(workload)
+                    if _result_fingerprint(inline) != _result_fingerprint(result):
+                        raise BenchError(
+                            f"sharded run is not schedule-invariant at "
+                            f"hosts={num_hosts} policy={policy} shards={shards}: "
+                            "pooled and inline execution disagree"
+                        )
+                    critical_s = max(inline_sim.shard_walls)
+                    kernels["inline"] = {
+                        "wall_s": sum(inline_sim.shard_walls),
+                        "critical_path_s": critical_s,
+                        "events_per_s": num_events / critical_s,
+                        "peak_rss_mb": _peak_rss_mb(),
+                    }
+                    speedups["critical_path"] = serial_wall / critical_s
+                cells.append(
+                    {
+                        "num_hosts": num_hosts,
+                        "policy": policy,
+                        "tier": "shard",
+                        "shards": shards,
+                        "num_events": num_events,
+                        "placed": len(result.placements),
+                        "rejected": len(result.rejections),
+                        "pooled": result.pooled_placements,
+                        "serial_placed": len(serial_result.placements),
+                        "verified": spec.verify,
+                        "kernels": kernels,
+                        "speedups": speedups,
+                        "speedup": speedups["sharded"],
+                    }
+                )
+                critical = (
+                    f"critical path {speedups['critical_path']:.2f}x  "
+                    if "critical_path" in speedups
+                    else ""
+                )
+                say(
+                    f"hosts={num_hosts:6d} {policy:20s} "
+                    f"{shards} shards {num_events / wall_s:9.0f} ev/s "
+                    f"({speedups['sharded']:.2f}x)  {critical}"
+                    f"serial pruned {serial_payload['events_per_s']:9.0f} ev/s  "
+                    f"placed {len(result.placements)} "
+                    f"(serial {len(serial_result.placements)})"
+                )
+    return cells
+
+
 def run_engine_bench(
     spec: EngineBenchSpec = EngineBenchSpec(),
     progress: Optional[Callable[[str], None]] = None,
@@ -266,15 +443,19 @@ def run_engine_bench(
             spec, spec.scale_hosts, spec.scale_policies,
             spec.scale_vms_per_host, spec.scale_warmup_vms, "scale", say,
         )
+    shard_cells: list[dict] = []
+    if spec.shard_hosts:
+        shard_cells = _run_shard_tier(spec, say)
+        cells += shard_cells
     headline = max(
-        cells,
+        (c for c in cells if c["tier"] != "shard"),
         key=lambda c: (
             c["num_hosts"],
             c["policy"] == "progress",
             c["speedups"]["pruned"],
         ),
     )
-    return {
+    payload = {
         "schema": SCHEMA,
         "grid": {
             "hosts": list(spec.hosts),
@@ -289,11 +470,17 @@ def run_engine_bench(
             "scale_policies": list(spec.scale_policies),
             "scale_vms_per_host": spec.scale_vms_per_host,
             "scale_warmup_vms": spec.scale_warmup_vms,
+            "shard_hosts": list(spec.shard_hosts),
+            "shard_counts": list(spec.shard_counts),
+            "shard_policies": list(spec.shard_policies),
+            "shard_vms_per_host": spec.shard_vms_per_host,
+            "shard_warmup_vms": spec.shard_warmup_vms,
         },
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
         },
         "headline": {
             "num_hosts": headline["num_hosts"],
@@ -304,6 +491,17 @@ def run_engine_bench(
         },
         "cells": cells,
     }
+    if shard_cells:
+        best = max(shard_cells, key=lambda c: (c["num_hosts"], c["shards"]))
+        payload["shard_headline"] = {
+            "num_hosts": best["num_hosts"],
+            "policy": best["policy"],
+            "shards": best["shards"],
+            "speedup": best["speedup"],
+            "speedups": dict(best["speedups"]),
+            "events_per_s": best["kernels"]["sharded"]["events_per_s"],
+        }
+    return payload
 
 
 def _cell_speedups(cell: dict) -> dict:
@@ -325,11 +523,12 @@ def crossover_report(payload: dict) -> list[str]:
     """
     lines = []
     for cell in payload.get("cells", ()):
+        base = "serial pruned" if cell.get("tier") == "shard" else "naive"
         for kernel, ratio in sorted(_cell_speedups(cell).items()):
             if ratio < 1.0:
                 lines.append(
                     f"hosts={cell['num_hosts']} policy={cell['policy']}: "
-                    f"{kernel} {ratio:.2f}x vs naive (crossover: naive "
+                    f"{kernel} {ratio:.2f}x vs {base} (crossover: {base} "
                     "wins this cell)"
                 )
     return lines
@@ -359,11 +558,14 @@ def compare_engine_bench(
             )
     problems = []
     baseline_cells = {
-        (c["num_hosts"], c["policy"]): c for c in baseline["cells"]
+        (c["num_hosts"], c["policy"], c.get("shards", 1)): c
+        for c in baseline["cells"]
     }
     matched = 0
     for cell in current["cells"]:
-        ref = baseline_cells.get((cell["num_hosts"], cell["policy"]))
+        ref = baseline_cells.get(
+            (cell["num_hosts"], cell["policy"], cell.get("shards", 1))
+        )
         if ref is None:
             continue
         matched += 1

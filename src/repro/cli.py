@@ -10,6 +10,9 @@ Exposes the library's main workflows without writing Python:
   over a process pool (``--workers``) with JSONL checkpointing and
   resume (``--out`` / ``--resume``); results are bit-identical for any
   worker count;
+* ``slackvm shard`` — one workload through the sharded dispatcher
+  (N vector-engine shards in worker processes), with optional
+  inline-vs-pool byte-identity verification and speedup reporting;
 * ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment;
 * ``slackvm audit`` — differential replay of one workload through both
   engines (object + vectorized), reporting the first divergence and
@@ -105,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--policy", default="progress",
                     help="shared-cluster policy (progress, progress_bestfit, "
                          "first_fit, best_fit, worst_fit)")
+    ev.add_argument("--kernel", default="incremental",
+                    help="placement kernel for the shared cluster "
+                         "(incremental, naive, pruned)")
+    ev.add_argument("--shards", type=int, default=1,
+                    help="fan the shared cluster out over N dispatcher "
+                         "shards (default 1: unsharded)")
+    ev.add_argument("--router", default="hash",
+                    help="shard routing policy (hash, score)")
+    ev.add_argument("--machine", type=_machine, default=SIM_WORKER,
+                    help="worker spec as CPUS:MEM_GB (default 32:128)")
 
     sweep = sub.add_parser("sweep", help="run the Fig. 3/4 sweep for a provider")
     sweep.add_argument("--provider", choices=sorted(PROVIDERS), default="ovhcloud")
@@ -127,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="skip cells already completed in --out "
                             "(failed cells are retried)")
+    sweep.add_argument("--kernel", default="incremental",
+                       help="placement kernel for every cell "
+                            "(incremental, naive, pruned)")
+    sweep.add_argument("--shards", type=int, default=1,
+                       help="dispatcher shards per cell (run inline inside "
+                            "each cell worker; default 1)")
+    sweep.add_argument("--router", default="hash",
+                       help="shard routing policy (hash, score)")
 
     ov = sub.add_parser(
         "oversub",
@@ -157,6 +178,48 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker spec as CPUS:MEM_GB (default 32:128)")
     ov.add_argument("-o", "--out", default=None,
                     help="write the per-cell results as JSON")
+
+    sh = sub.add_parser(
+        "shard",
+        help="run one workload through the sharded dispatcher "
+             "(N vector-engine shards in worker processes)",
+    )
+    sh.add_argument("--provider", choices=sorted(PROVIDERS), default="azure")
+    sh.add_argument("--mix", default="F",
+                    help=f"level mix, one of {'/'.join(DISTRIBUTIONS)} "
+                         "or S1,S2,S3 percent shares")
+    sh.add_argument("--population", type=int, default=500,
+                    help="target concurrent VMs (default 500)")
+    sh.add_argument("--seed", type=int, default=42)
+    sh.add_argument("--hosts", type=int, default=0,
+                    help="cluster size; 0 auto-sizes from the demand "
+                         "lower bound with 15%% headroom (default)")
+    sh.add_argument("--machine", type=_machine, default=SIM_WORKER,
+                    help="host spec as CPUS:MEM_GB (default 32:128)")
+    sh.add_argument("--policy", choices=POLICIES, default="progress")
+    sh.add_argument("--kernel", default="pruned",
+                    help="placement kernel per shard (default pruned)")
+    sh.add_argument("--shards", type=int, default=4,
+                    help="shard count (default 4)")
+    sh.add_argument("--router", default="hash",
+                    help="routing policy: hash (consistent hashing over "
+                         "VM id) or score (aggregate M/C)")
+    sh.add_argument("--workers", type=int, default=0,
+                    help="worker processes (default 0: one per shard; "
+                         "1 runs every shard inline)")
+    sh.add_argument("--trace", default=None,
+                    help="replay a JSONL trace instead of generating one")
+    sh.add_argument("--checkpoint", default=None,
+                    help="JSONL shard checkpoint path")
+    sh.add_argument("--resume", action="store_true",
+                    help="skip shards already completed in --checkpoint")
+    sh.add_argument("--verify", action="store_true",
+                    help="re-run every shard inline (workers=1) and fail "
+                         "unless the merged streams are byte-identical; "
+                         "reports the pool-vs-inline speedup")
+    sh.add_argument("--baseline", action="store_true",
+                    help="also run the unsharded single-process engine "
+                         "and report the sharded speedup over it")
 
     tb = sub.add_parser("testbed",
                         help="run the Table IV / Fig. 2 isolation experiment")
@@ -212,6 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
                          "cells (default 0.5, keeps the naive arm tractable)")
     be.add_argument("--scale-warmup-vms", type=int, default=200,
                     help="warmup slice for scale cells (default 200)")
+    be.add_argument("--shard-hosts", default="",
+                    help="comma-separated cluster sizes for the shard tier "
+                         "(sharded dispatcher vs serial pruned kernel; "
+                         "default: none)")
+    be.add_argument("--shard-counts", default="4",
+                    help="comma-separated shard counts for shard-tier cells "
+                         "(default 4)")
+    be.add_argument("--shard-policies", default="progress",
+                    help="policy subset for the shard tier (default progress)")
+    be.add_argument("--shard-vms-per-host", type=float, default=0.5,
+                    help="workload target population per host for shard "
+                         "cells (default 0.5)")
     be.add_argument("--no-verify", action="store_true",
                     help="skip the kernel-equality check on each cell")
     be.add_argument("-o", "--out", default=None,
@@ -293,13 +368,22 @@ def _cmd_size(args) -> None:
 
 
 def _cmd_evaluate(args) -> None:
-    from repro.analysis import evaluate_distribution
+    from repro.api import RunSpec, evaluate
 
-    outcome = evaluate_distribution(
-        PROVIDERS[args.provider], _parse_mix(args.mix),
-        target_population=args.population, seed=args.seed,
+    spec = RunSpec(
+        provider=args.provider,
+        mix=_parse_mix(args.mix),
+        target_population=args.population,
+        seed=args.seed,
+        host_cpus=args.machine.cpus,
+        host_mem_gb=args.machine.mem_gb,
         policy=args.policy,
+        kernel=args.kernel,
+        shards=args.shards,
+        router=args.router,
+        workers=1,
     )
+    outcome = evaluate(spec)
     s1, s2, s3 = outcome.mix
     print(f"provider {outcome.provider}, mix {s1:g}/{s2:g}/{s3:g} "
           f"(1:1/2:1/3:1), {args.population} target VMs, seed {args.seed}")
@@ -325,6 +409,9 @@ def _cmd_sweep(args) -> None:
         mixes=mixes if mixes is not None else tuple(DISTRIBUTIONS),
         seeds=seeds,
         target_population=args.population,
+        kernel=args.kernel,
+        shards=args.shards,
+        router=args.router,
     )
     progress = (lambda line: print(line, file=sys.stderr)) if args.workers > 1 else None
     sweep = run_sweep(spec, workers=args.workers, out=args.out,
@@ -357,19 +444,26 @@ def _cmd_oversub(args) -> None:
         seeds = derive_seeds(args.seed, args.num_seeds)
     else:
         seeds = (args.seed,)
+    from repro.api import RunSpec
+
     strategies = tuple(s for s in args.strategies.split(",") if s)
     mixes = tuple(m for m in args.mixes.split(",") if m)
-    spec = OversubSweepSpec(
-        strategies=strategies,
-        providers=(args.provider,),
-        mixes=mixes,
-        seeds=seeds,
+    base = RunSpec(
+        provider=args.provider,
         target_population=args.population,
-        scarcity=args.scarcity,
+        seed=args.seed,
+        host_cpus=args.machine.cpus,
+        host_mem_gb=args.machine.mem_gb,
         policy=args.policy,
         kernel=args.kernel,
-        update_every=args.update_every,
-        machine=args.machine,
+        oversub_update_every=args.update_every,
+    )
+    spec = OversubSweepSpec.from_run_spec(
+        base,
+        strategies=strategies,
+        mixes=mixes,
+        seeds=seeds,
+        scarcity=args.scarcity,
     )
     result = run_oversub_sweep(spec)
     print(f"Dynamic oversubscription — packing gain vs violation risk "
@@ -380,6 +474,76 @@ def _cmd_oversub(args) -> None:
             json.dump(result.to_dicts(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {len(result.cells)} cells to {args.out}", file=sys.stderr)
+
+
+def _cmd_shard(args) -> int:
+    from time import perf_counter
+
+    from repro.api import (
+        RunSpec,
+        build_config,
+        build_machines,
+        build_simulation,
+        build_workload,
+    )
+    from repro.simulator.conformance import result_stream
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    spec = RunSpec(
+        provider=args.provider,
+        mix=_parse_mix(args.mix),
+        target_population=args.population,
+        seed=args.seed,
+        num_hosts=args.hosts,
+        host_cpus=args.machine.cpus,
+        host_mem_gb=args.machine.mem_gb,
+        policy=args.policy,
+        kernel=args.kernel,
+        shards=args.shards,
+        router=args.router,
+        workers=args.workers,
+    )
+    workload = load_trace(args.trace) if args.trace else build_workload(spec)
+    machines = build_machines(spec, workload)
+    config = build_config(spec, workload)
+
+    def timed(run_spec, checkpoint=None, resume=False):
+        sim = build_simulation(run_spec, machines, config=config)
+        if checkpoint is not None:
+            sim.checkpoint = checkpoint
+            sim.resume = resume
+        t0 = perf_counter()
+        result = sim.run(list(workload))
+        return result, perf_counter() - t0
+
+    print(f"{len(workload)} VM lifecycles on {len(machines)} hosts "
+          f"({args.machine.cpus} CPUs / {args.machine.mem_gb:g} GB), "
+          f"{spec.shards} shard(s) via {spec.router} routing, "
+          f"kernel {spec.kernel}")
+    result, wall = timed(spec, checkpoint=args.checkpoint, resume=args.resume)
+    events = len(result.timeline.times)
+    print(f"sharded : {events} events in {wall:.2f}s "
+          f"({events / wall:.0f} ev/s), {len(result.placements)} placed, "
+          f"{len(result.rejections)} rejected, "
+          f"{result.pooled_placements} pooled")
+
+    rc = 0
+    if args.verify:
+        serial, serial_wall = timed(spec.replace(workers=1))
+        identical = result_stream(serial) == result_stream(result)
+        print(f"inline  : {events / serial_wall:.0f} ev/s "
+              f"({serial_wall:.2f}s); streams "
+              f"{'byte-identical' if identical else 'DIVERGED'}; "
+              f"pool speedup {serial_wall / wall:.2f}x")
+        if not identical:
+            rc = 1
+    if args.baseline:
+        base, base_wall = timed(spec.replace(shards=1, workers=1))
+        print(f"unsharded baseline: {len(base.timeline.times)} events in "
+              f"{base_wall:.2f}s ({len(base.timeline.times) / base_wall:.0f} "
+              f"ev/s); sharded speedup {base_wall / wall:.2f}x")
+    return rc
 
 
 def _cmd_testbed(args) -> None:
@@ -447,9 +611,12 @@ def _cmd_bench(args) -> int:
     try:
         hosts = tuple(int(h) for h in args.hosts.split(",") if h)
         scale_hosts = tuple(int(h) for h in args.scale_hosts.split(",") if h)
+        shard_hosts = tuple(int(h) for h in args.shard_hosts.split(",") if h)
+        shard_counts = tuple(int(s) for s in args.shard_counts.split(",") if s)
     except ValueError:
         raise SystemExit(
-            f"invalid --hosts/--scale-hosts: use e.g. 500,2000,5000"
+            "invalid --hosts/--scale-hosts/--shard-hosts/--shard-counts: "
+            "use e.g. 500,2000,5000"
         )
     spec = EngineBenchSpec(
         hosts=hosts,
@@ -464,6 +631,10 @@ def _cmd_bench(args) -> int:
         scale_policies=tuple(p for p in args.scale_policies.split(",") if p),
         scale_vms_per_host=args.scale_vms_per_host,
         scale_warmup_vms=args.scale_warmup_vms,
+        shard_hosts=shard_hosts,
+        shard_counts=shard_counts,
+        shard_policies=tuple(p for p in args.shard_policies.split(",") if p),
+        shard_vms_per_host=args.shard_vms_per_host,
     )
     payload = run_engine_bench(spec, progress=print)
     head = payload["headline"]
@@ -471,6 +642,16 @@ def _cmd_bench(args) -> int:
     print(f"headline: hosts={head['num_hosts']} policy={head['policy']} "
           f"{head['events_per_s']:.0f} ev/s, pruned {pruned_x:.2f}x / "
           f"incremental {head['speedup']:.2f}x over naive")
+    shard_head = payload.get("shard_headline")
+    if shard_head:
+        critical = shard_head["speedups"].get("critical_path")
+        suffix = (
+            f", critical path {critical:.2f}x" if critical is not None else ""
+        )
+        print(f"shard headline: hosts={shard_head['num_hosts']} "
+              f"policy={shard_head['policy']} shards={shard_head['shards']} "
+              f"{shard_head['events_per_s']:.0f} ev/s, "
+              f"{shard_head['speedup']:.2f}x over serial pruned{suffix}")
     for line in crossover_report(payload):
         print(f"CROSSOVER: {line}")
     if args.out:
@@ -515,6 +696,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "oversub": _cmd_oversub,
+    "shard": _cmd_shard,
     "testbed": _cmd_testbed,
     "audit": _cmd_audit,
     "bench": _cmd_bench,

@@ -15,6 +15,7 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "RunnerError",
+    "ShardingError",
 ]
 
 
@@ -51,3 +52,8 @@ class SimulationError(ReproError):
 class RunnerError(ReproError):
     """A sweep specification or checkpoint is invalid, or a sweep
     finished with failed cells the caller required to succeed."""
+
+
+class ShardingError(ReproError):
+    """A sharded run failed: a shard worker raised, a merge invariant
+    broke, or a shard checkpoint does not match its plan."""

@@ -179,6 +179,8 @@ DECISION_PACKAGES = (
     "repro.controlplane",
     "repro.obs",
     "repro.runner",
+    "repro.sharding",
+    "repro.api",
     "repro.hardware",
     "scripts",
 )

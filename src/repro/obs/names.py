@@ -39,6 +39,12 @@ __all__ = [
     "OVERSUB_VIOLATIONS",
     "OVERSUB_EFF_RATIO",
     "OVERSUB_EFF_CPU_TOTAL",
+    "SHARD_COUNT",
+    "SHARD_ROUTED",
+    "SHARD_QUEUE_DEPTH",
+    "SHARD_IMBALANCE",
+    "SHARD_WALL_S",
+    "SHARD_MERGE_S",
     "ALL_METRIC_NAMES",
 ]
 
@@ -94,6 +100,21 @@ OVERSUB_EFF_RATIO = "oversub.eff_ratio"
 #: Gauge — cluster-wide effective CPU capacity after the last update.
 OVERSUB_EFF_CPU_TOTAL = "oversub.eff_cpu_total"
 
+# -- sharded simulation (repro.sharding) -------------------------------------
+
+#: Gauge — shard count of the current sharded run.
+SHARD_COUNT = "shard.count"
+#: Counter — arrival routing decisions made by the dispatcher.
+SHARD_ROUTED = "shard.routed"
+#: Histogram — VMs routed to each shard (one observation per shard).
+SHARD_QUEUE_DEPTH = "shard.queue_depth"
+#: Gauge — routing imbalance: max/mean of the per-shard VM counts.
+SHARD_IMBALANCE = "shard.imbalance"
+#: Timer — per-shard simulation wall clock (one observation per shard).
+SHARD_WALL_S = "shard.wall_s"
+#: Timer — wall clock of the dispatcher's result-stream merge.
+SHARD_MERGE_S = "shard.merge_s"
+
 #: Every registered metric name; the R008 fixture tests and the
 #: registry round-trip test key off this set.
 ALL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -119,5 +140,11 @@ ALL_METRIC_NAMES: frozenset[str] = frozenset(
         OVERSUB_VIOLATIONS,
         OVERSUB_EFF_RATIO,
         OVERSUB_EFF_CPU_TOTAL,
+        SHARD_COUNT,
+        SHARD_ROUTED,
+        SHARD_QUEUE_DEPTH,
+        SHARD_IMBALANCE,
+        SHARD_WALL_S,
+        SHARD_MERGE_S,
     }
 )

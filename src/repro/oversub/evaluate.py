@@ -97,6 +97,40 @@ class OversubSweepSpec:
         if self.target_population <= 0:
             raise ConfigError("target_population must be positive")
 
+    @classmethod
+    def from_run_spec(
+        cls,
+        base: "RunSpec",  # noqa: F821 — deferred import, avoids a cycle
+        strategies: tuple[str, ...],
+        mixes: tuple[str, ...],
+        seeds: tuple[int, ...],
+        scarcity: float = 0.5,
+        samples_per_window: int = 8,
+    ) -> "OversubSweepSpec":
+        """Expand a base :class:`repro.api.RunSpec` into a strategy grid.
+
+        The base spec contributes everything a single run defines
+        (provider, population, policy, kernel, machine shape, update
+        period); the grid axes — strategies, mixes, seeds — and the
+        sweep-only scarcity knob come in alongside.  This is the CLI's
+        parse target: one validated spec instead of a dozen loose args.
+        """
+        return cls(
+            strategies=strategies,
+            providers=(base.provider,),
+            mixes=mixes,
+            seeds=seeds,
+            target_population=base.target_population,
+            scarcity=scarcity,
+            policy=base.policy,
+            kernel=base.kernel,
+            update_every=base.oversub_update_every,
+            samples_per_window=samples_per_window,
+            machine=MachineSpec(
+                name="oversub-pm", cpus=base.host_cpus, mem_gb=base.host_mem_gb
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class OversubCellResult:

@@ -35,18 +35,35 @@ __all__ = ["SweepResult", "run_sweep"]
 
 
 def _cell_payload(spec: SweepSpec, cell: SweepCell) -> dict:
-    """JSON-primitive work unit shipped to a worker process."""
+    """JSON-primitive work unit shipped to a worker process.
+
+    ``run_spec`` is a :class:`repro.api.RunSpec` dict built *without*
+    eager validation — the worker parses it inside its fault-capture
+    block, so a bad knob (e.g. an unknown provider) surfaces as a
+    failed-cell record, not a crashed sweep.  Shard execution inside a
+    cell is pinned inline (``workers=1``): the sweep already owns the
+    process pool, one level up.
+    """
     return {
         "provider": cell.provider,
         "mix_label": cell.mix_label,
         "mix": list(cell.mix),
         "seed": cell.seed,
-        "target_population": spec.target_population,
-        "policy": spec.policy,
         "baseline_policy": spec.baseline_policy,
-        "pooling": spec.pooling,
-        "machine_cpus": spec.machine_cpus,
-        "machine_mem_gb": spec.machine_mem_gb,
+        "run_spec": {
+            "provider": cell.provider,
+            "mix": list(cell.mix),
+            "target_population": spec.target_population,
+            "seed": cell.seed,
+            "host_cpus": spec.machine_cpus,
+            "host_mem_gb": spec.machine_mem_gb,
+            "policy": spec.policy,
+            "kernel": spec.kernel,
+            "pooling": spec.pooling,
+            "shards": spec.shards,
+            "router": spec.router,
+            "workers": 1,
+        },
     }
 
 
@@ -67,31 +84,11 @@ def _run_cell(payload: dict) -> dict:
     }
     record["key"] = "{provider}/{mix_label}/{seed}".format(**record)
     try:
-        from repro.analysis.experiments import evaluate_distribution
-        from repro.hardware.machine import MachineSpec
-        from repro.workload.catalog import PROVIDERS
+        from repro.api import RunSpec, evaluate
 
-        try:
-            catalog = PROVIDERS[payload["provider"]]
-        except KeyError:
-            raise RunnerError(
-                f"unknown provider {payload['provider']!r}; "
-                f"expected one of {sorted(PROVIDERS)}"
-            ) from None
-        machine = MachineSpec(
-            name="sweep-pm",
-            cpus=payload["machine_cpus"],
-            mem_gb=payload["machine_mem_gb"],
-        )
-        outcome = evaluate_distribution(
-            catalog,
-            tuple(payload["mix"]),
-            machine=machine,
-            target_population=payload["target_population"],
-            seed=payload["seed"],
-            policy=payload["policy"],
-            pooling=payload["pooling"],
-            baseline_policy=payload["baseline_policy"],
+        run_spec = RunSpec.from_dict(payload["run_spec"])
+        outcome = evaluate(
+            run_spec, baseline_policy=payload["baseline_policy"]
         )
         record["status"] = STATUS_OK
         record["outcome"] = outcome_to_dict(outcome)

@@ -33,7 +33,10 @@ from repro.workload.distributions import DISTRIBUTIONS, LevelMix
 __all__ = ["SweepCell", "SweepSpec", "derive_seeds", "resolve_mix_entry"]
 
 #: Checkpoint/spec schema version (bump on incompatible changes).
-SPEC_VERSION = 1
+#: v2 added the kernel/shards/router cell knobs; v1 files still parse
+#: (the new fields default), but their fingerprints no longer match,
+#: so a resume against a v1 checkpoint is refused explicitly.
+SPEC_VERSION = 2
 
 
 def derive_seeds(root_seed: int, n: int) -> tuple[int, ...]:
@@ -125,6 +128,9 @@ class SweepSpec:
     pooling: bool = True
     machine_cpus: int = SIM_WORKER.cpus
     machine_mem_gb: float = SIM_WORKER.mem_gb
+    kernel: str = "incremental"
+    shards: int = 1
+    router: str = "hash"
     resolved_mixes: tuple[tuple[str, LevelMix], ...] = field(
         init=False, repr=False, compare=False, default=()
     )
@@ -142,6 +148,8 @@ class SweepSpec:
             raise RunnerError("target_population must be positive")
         if self.machine_cpus <= 0 or self.machine_mem_gb <= 0:
             raise RunnerError("machine_cpus and machine_mem_gb must be positive")
+        if self.shards < 1:
+            raise RunnerError(f"shards must be >= 1, got {self.shards}")
         resolved = tuple(resolve_mix_entry(m) for m in self.mixes)
         labels = [label for label, _ in resolved]
         if len(set(labels)) != len(labels):
@@ -203,12 +211,15 @@ class SweepSpec:
             "pooling": self.pooling,
             "machine_cpus": self.machine_cpus,
             "machine_mem_gb": self.machine_mem_gb,
+            "kernel": self.kernel,
+            "shards": self.shards,
+            "router": self.router,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepSpec":
         version = data.get("version", SPEC_VERSION)
-        if version != SPEC_VERSION:
+        if version not in (1, SPEC_VERSION):
             raise RunnerError(
                 f"unsupported sweep spec version {version} (expected {SPEC_VERSION})"
             )
@@ -225,6 +236,9 @@ class SweepSpec:
             pooling=bool(data.get("pooling", True)),
             machine_cpus=int(data["machine_cpus"]),
             machine_mem_gb=float(data["machine_mem_gb"]),
+            kernel=data.get("kernel", "incremental"),
+            shards=int(data.get("shards", 1)),
+            router=data.get("router", "hash"),
         )
 
     def fingerprint(self) -> str:

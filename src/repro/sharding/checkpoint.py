@@ -1,0 +1,129 @@
+"""Append-only JSONL checkpoints for sharded runs, with resume.
+
+Same file discipline as :class:`repro.runner.checkpoint.SweepCheckpoint`:
+
+* line 1 — header: ``{"kind": "header", "fingerprint": ..., "plan":
+  {...}, "version": 1}``, where the fingerprint is
+  :meth:`ShardPlan.fingerprint` salted with the workload digest — a
+  checkpoint resumed against a different plan *or* trace is refused;
+* then one ``{"kind": "shard", ...}`` record per *completed* shard
+  (the :func:`~repro.sharding.dispatcher._run_shard` result payload),
+  flushed on completion, in completion order.
+
+Floats survive the JSON round trip bit-identically (``json`` emits
+``repr`` and parses it back exactly), so a resumed merge is
+byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, TextIO
+
+from repro.core.errors import ShardingError
+
+if TYPE_CHECKING:
+    from repro.sharding.dispatcher import ShardPlan
+
+__all__ = ["ShardCheckpoint"]
+
+
+def _canon(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ShardCheckpoint:
+    """One sharded run's JSONL result file (writer + resume loader)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+
+    # -- writing -------------------------------------------------------------
+
+    def start(
+        self, plan: "ShardPlan", fingerprint: str, resume: bool = False
+    ) -> dict[int, dict]:
+        """Open the checkpoint and return already-completed shard records.
+
+        With ``resume=False`` any existing file is truncated and a
+        fresh header written.  With ``resume=True`` an existing file is
+        validated against ``fingerprint`` and its shard records
+        returned; a missing file degrades to a fresh start.
+        """
+        done: dict[int, dict] = {}
+        if resume and self.path.exists():
+            done = self.load(fingerprint)
+            self._fh = self.path.open("a", encoding="utf-8")
+            return done
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        header = {
+            "kind": "header",
+            "version": 1,
+            "fingerprint": fingerprint,
+            "plan": plan.to_dict(),
+        }
+        self._fh.write(_canon(header) + "\n")
+        self._fh.flush()
+        return done
+
+    def append(self, record: dict) -> None:
+        if self._fh is None:
+            raise ShardingError("checkpoint not started")
+        self._fh.write(_canon({"kind": "shard", **record}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ShardCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self, fingerprint: Optional[str] = None) -> dict[int, dict]:
+        """Parse the file into ``{shard index: last record}``.
+
+        When ``fingerprint`` is given the header must match.  Truncated
+        trailing lines (a killed writer) are tolerated and dropped.
+        """
+        if not self.path.exists():
+            raise ShardingError(f"no shard checkpoint at {self.path}")
+        records: dict[int, dict] = {}
+        header = None
+        with self.path.open("r", encoding="utf-8") as fh:
+            for i, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill mid-write leaves at most one torn last line.
+                    continue
+                kind = record.get("kind")
+                if i == 0:
+                    if kind != "header":
+                        raise ShardingError(
+                            f"{self.path} is not a shard checkpoint (no header)"
+                        )
+                    header = record
+                    continue
+                if kind == "shard" and record.get("ok"):
+                    records[int(record["shard"])] = record
+        if header is None:
+            raise ShardingError(f"{self.path} is empty")
+        if fingerprint is not None and header.get("fingerprint") != fingerprint:
+            raise ShardingError(
+                f"checkpoint {self.path} was produced by a different plan or "
+                f"workload (fingerprint {header.get('fingerprint')} != "
+                f"{fingerprint}); refusing to resume"
+            )
+        return records

@@ -1,0 +1,132 @@
+"""Merge per-shard result streams into one ``SimulationResult``.
+
+Every shard processed a *subsequence* of the global event stream: its
+local ``(time, kind, seq)`` order is the global order restricted to its
+VMs, because both orders sort by ``(arrival, vm_id)`` first and the
+dispatcher's sub-workloads preserve that order.  So shard ``s``'s
+``k``-th timeline sample corresponds exactly to the ``k``-th global
+event routed to ``s`` — the merge replays the global event list,
+advances a cursor into the owning shard's stream, and emits one merged
+sample per global event whose allocation is the sum of every shard's
+last-known allocation (summed in shard-index order, so the float
+reduction is deterministic).
+
+Placements keep the engine's insertion-order contract — admitted VMs in
+global arrival order — with local host indices rebased by the owning
+shard's block offset; rejections likewise merge in global arrival
+order.  That is the layout :func:`repro.simulator.conformance.result_stream`
+serializes, so a merged result flows through the existing conformance
+machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ShardingError
+from repro.simulator.engine import PlacementRecord, SimulationResult, Timeline
+from repro.simulator.events import Event, EventKind
+
+__all__ = ["merge_shard_results"]
+
+
+def merge_shard_results(
+    plan: "ShardPlan",  # noqa: F821 — circular-import avoidance
+    events: Sequence[Event],
+    event_shards: Sequence[int],
+    shard_results: Sequence[dict],
+) -> SimulationResult:
+    """Fold worker result records (dispatcher payload schema) together.
+
+    ``shard_results[s]`` is shard ``s``'s record as returned by
+    :func:`repro.sharding.dispatcher._run_shard`; ``event_shards[i]``
+    names the shard that owns ``events[i]``.
+    """
+    shards = plan.shards
+    if len(shard_results) != shards:
+        raise ShardingError(
+            f"expected {shards} shard results, got {len(shard_results)}"
+        )
+    if len(events) != len(event_shards):
+        raise ShardingError(
+            f"{len(events)} events but {len(event_shards)} shard assignments"
+        )
+
+    placed = [
+        {vm_id: (host, ratio, pooled) for vm_id, host, ratio, pooled in r["placements"]}
+        for r in shard_results
+    ]
+    rejected = [set(r["rejections"]) for r in shard_results]
+
+    placements: dict[str, PlacementRecord] = {}
+    rejections: list[str] = []
+    timeline = Timeline()
+    cursors = [0] * shards
+    last_cpu = [0.0] * shards
+    last_mem = [0.0] * shards
+
+    for ev, shard in zip(events, event_shards):
+        r = shard_results[shard]
+        k = cursors[shard]
+        if k >= len(r["times"]):
+            raise ShardingError(
+                f"shard {shard} produced {len(r['times'])} timeline samples "
+                f"but owns more global events — shard stream is truncated"
+            )
+        if r["times"][k] != ev.time:
+            raise ShardingError(
+                f"shard {shard} sample {k} is at t={r['times'][k]} but the "
+                f"global event it answers is at t={ev.time}"
+            )
+        cursors[shard] = k + 1
+        last_cpu[shard] = r["alloc_cpu"][k]
+        last_mem[shard] = r["alloc_mem"][k]
+        cpu = 0.0
+        mem = 0.0
+        for s in range(shards):
+            cpu += last_cpu[s]
+            mem += last_mem[s]
+        timeline.record(ev.time, cpu, mem)
+
+        if ev.kind is EventKind.ARRIVAL:
+            row = placed[shard].get(ev.vm.vm_id)
+            if row is not None:
+                host, ratio, pooled = row
+                placements[ev.vm.vm_id] = PlacementRecord(
+                    vm_id=ev.vm.vm_id,
+                    host=plan.offsets[shard] + host,
+                    hosted_ratio=ratio,
+                    pooled=pooled,
+                )
+            elif ev.vm.vm_id in rejected[shard]:
+                rejections.append(ev.vm.vm_id)
+            else:
+                raise ShardingError(
+                    f"shard {shard} neither placed nor rejected VM "
+                    f"{ev.vm.vm_id!r}"
+                )
+
+    for s in range(shards):
+        if cursors[s] != len(shard_results[s]["times"]):
+            raise ShardingError(
+                f"shard {s} produced {len(shard_results[s]['times'])} samples "
+                f"but only {cursors[s]} global events were routed to it"
+            )
+
+    capacity_cpu = 0.0
+    capacity_mem = 0.0
+    pooled_total = 0
+    for s in range(shards):
+        capacity_cpu += shard_results[s]["capacity_cpu"]
+        capacity_mem += shard_results[s]["capacity_mem"]
+        pooled_total += shard_results[s]["pooled"]
+
+    return SimulationResult(
+        num_hosts=plan.num_hosts,
+        capacity_cpu=capacity_cpu,
+        capacity_mem=capacity_mem,
+        placements=placements,
+        rejections=rejections,
+        timeline=timeline,
+        pooled_placements=pooled_total,
+    )

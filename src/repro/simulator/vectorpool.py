@@ -174,6 +174,18 @@ _SHAPE_CACHE_CAP = 64
 #: any value preserves correctness).
 _MUTLOG_COMPACT = 1 << 20
 
+#: Fixed-point scale of the exact running memory total: allocations are
+#: tracked as integer multiples of 2**-20 GB (1 KiB granularity when
+#: mem_gb is in GiB).  Catalog memory sizes and the physical
+#: reservations ``mem_gb / mem_ratio`` they induce are dyadic rationals
+#: far coarser than this, so real workloads stay on the exact path.
+_MEM_SCALE_BITS = 20
+_MEM_SCALE = float(1 << _MEM_SCALE_BITS)
+#: Largest scaled total for which every float64 partial sum of
+#: non-negative per-host values is exact (53-bit significand).  Above
+#: it (an 8-exabyte fleet) the accumulator falls back to ``np.sum``.
+_MEM_EXACT_LIMIT = 1 << 53
+
 
 class VectorCluster:
     """Array-backed state of every host's vNodes.
@@ -269,6 +281,18 @@ class VectorCluster:
         # changes flow through deploy/remove (``invalidate`` recomputes
         # it after direct mutation).
         self.total_alloc_cpu = 0.0
+        # Running cluster-wide memory allocation, kept as an integer in
+        # units of 2**-20 GB.  While every per-host value is an exact
+        # multiple of that unit and the total stays below 2**53 units,
+        # ``alloc_mem.sum()``'s pairwise partial sums are all exact
+        # integers (the values are non-negative, so each partial is
+        # bounded by the total), hence bit-identical to this counter —
+        # the O(hosts) per-event reduction collapses to O(1).  The
+        # first value that is not a multiple of the unit trips
+        # ``_mem_exact`` permanently and ``total_alloc_mem`` degrades
+        # to the full ``np.sum`` (status quo ante).
+        self._mem_scaled = 0
+        self._mem_exact = True
         self._init_kernel_state(L, n)
 
     # -- incremental-kernel state --------------------------------------------
@@ -406,6 +430,53 @@ class VectorCluster:
         else:
             self._touch(host)
         self.total_alloc_cpu = float(self.alloc_cpu.sum())
+        self._recount_mem()
+
+    def _account_mem(self, old: float, new: float) -> None:
+        """Fold one host's ``alloc_mem`` change into the running total.
+
+        ``old``/``new`` are the host's value before/after the mutation.
+        Values that are not exact multiples of the fixed-point unit
+        drop the accumulator into the permanent ``np.sum`` fallback
+        (see :attr:`total_alloc_mem`).
+        """
+        if not self._mem_exact:
+            return
+        old_scaled = old * _MEM_SCALE
+        new_scaled = new * _MEM_SCALE
+        if old_scaled.is_integer() and new_scaled.is_integer():
+            self._mem_scaled += int(new_scaled) - int(old_scaled)
+        else:
+            self._mem_exact = False
+
+    def _recount_mem(self) -> None:
+        """Rebuild the exact memory total from ``alloc_mem`` (O(hosts)).
+
+        Called by :meth:`invalidate`, which already pays an O(hosts)
+        CPU recount; per-event accounting goes through
+        :meth:`_account_mem` instead.
+        """
+        self._mem_exact = True
+        total = 0
+        for value in self.alloc_mem.tolist():
+            scaled = value * _MEM_SCALE
+            if not scaled.is_integer():
+                self._mem_exact = False
+                return
+            total += int(scaled)
+        self._mem_scaled = total
+
+    @property
+    def total_alloc_mem(self) -> float:
+        """Cluster-wide allocated memory, bit-equal to ``alloc_mem.sum()``.
+
+        O(1) on the exact fixed-point path; falls back to the full
+        pairwise ``np.sum`` when any per-host value ever left the
+        fixed-point grid or the total exceeds the exact-float range.
+        """
+        if self._mem_exact and 0 <= self._mem_scaled < _MEM_EXACT_LIMIT:
+            return self._mem_scaled / _MEM_SCALE
+        return float(self.alloc_mem.sum())
 
     def _sync(self) -> None:
         """Bring the derived caches up to date with the state arrays."""
@@ -908,6 +979,7 @@ class VectorCluster:
             self.alloc_cpu[host] = ac + growth
             self.alloc_mem[host] = am + own_mem
             self.total_alloc_cpu += growth
+            self._account_mem(am, am + own_mem)
             self._placements[vm.vm_id] = (host, li, v, m)
             self._requests[vm.vm_id] = vm
             self._touch(host)
@@ -943,7 +1015,9 @@ class VectorCluster:
                     best = lj
             if best is not None:
                 self.vnode_vcpus[best, host] += v
-                self.alloc_mem[host] = am + m / self._mem_ratio_vals[best]
+                new_am = am + m / self._mem_ratio_vals[best]
+                self.alloc_mem[host] = new_am
+                self._account_mem(am, new_am)
                 self._placements[vm.vm_id] = (host, best, v, m)
                 self._requests[vm.vm_id] = vm
                 self._touch(host)
@@ -978,10 +1052,12 @@ class VectorCluster:
         self.vnode_cpus[li, host] = required
         self.alloc_cpu[host] = self.alloc_cpu.item(host) - release
         self.total_alloc_cpu -= release
-        am = self.alloc_mem.item(host) - m / self._mem_ratio_vals[li]
+        old_am = self.alloc_mem.item(host)
+        am = old_am - m / self._mem_ratio_vals[li]
         if am < _EPS:
             am = 0.0
         self.alloc_mem[host] = am
+        self._account_mem(old_am, am)
         self._touch(host)
 
     def kill_host(self, host: int) -> None:
@@ -1230,7 +1306,7 @@ class VectorSimulation:
                     timeline.record(
                         event.time,
                         cluster.total_alloc_cpu,
-                        float(cluster.alloc_mem.sum()),
+                        cluster.total_alloc_mem,
                     )
                 for event in arrivals:
                     if controller is not None and target is not None:
@@ -1259,13 +1335,14 @@ class VectorSimulation:
                             self.metrics.counter(metric_names.PLACEMENTS).inc()
                             if record.pooled:
                                 self.metrics.counter(metric_names.POOLED).inc()
-                    # The running CPU total is bit-equal to
-                    # ``alloc_cpu.sum()`` (integral growth; see
-                    # VectorCluster.total_alloc_cpu).
+                    # Both running totals are bit-equal to the full
+                    # array sums (integral CPU growth; fixed-point
+                    # memory accounting — see VectorCluster.
+                    # total_alloc_cpu / total_alloc_mem).
                     timeline.record(
                         event.time,
                         cluster.total_alloc_cpu,
-                        float(cluster.alloc_mem.sum()),
+                        cluster.total_alloc_mem,
                     )
                 if halted:
                     break

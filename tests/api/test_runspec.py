@@ -1,0 +1,188 @@
+"""RunSpec: validation, round-trip, builders, run(), deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    AUTO_SIZE_HEADROOM,
+    RunSpec,
+    build_config,
+    build_machines,
+    build_simulation,
+    build_workload,
+    run,
+)
+from repro.core.errors import ConfigError
+from repro.sharding import ShardedSimulation
+from repro.simulator import Simulation, result_stream
+from repro.workload.distributions import DISTRIBUTIONS
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = RunSpec()
+        assert spec.engine == "vector" and spec.shards == 1
+
+    def test_mix_letter_normalizes_to_upper(self):
+        assert RunSpec(mix="f").mix == "F"
+        assert RunSpec(mix="f").mix_tuple == DISTRIBUTIONS["F"]
+        assert RunSpec(mix="F").mix_label == "F"
+
+    def test_mix_triple_normalizes_ints_to_floats(self):
+        a = RunSpec(mix=(40, 30, 30))
+        b = RunSpec(mix=(40.0, 30.0, 30.0))
+        assert a.mix == b.mix == (40.0, 30.0, 30.0)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.mix_label == "40,30,30"
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            (dict(mix="Z"), "unknown mix"),
+            (dict(mix=(50.0, 50.0)), "3 shares"),
+            (dict(provider="nope"), "unknown provider"),
+            (dict(target_population=0), "target_population"),
+            (dict(num_hosts=-1), "num_hosts"),
+            (dict(host_cpus=0), "positive"),
+            (dict(policy="nope"), "unknown policy"),
+            (dict(kernel="nope"), "unknown kernel"),
+            (dict(engine="nope"), "unknown engine"),
+            (dict(oversub="nope"), "unknown oversub"),
+            (dict(oversub_update_every=0.0), "update_every"),
+            (dict(shards=0), "at least one shard"),
+            (dict(router="nope"), "unknown router"),
+            (dict(workers=-1), "workers"),
+            (dict(num_hosts=2, shards=4), "cannot split"),
+            (dict(engine="object", shards=2), "object engine"),
+            (dict(shards=2, fail_fast=True), "fail_fast"),
+            (dict(shards=2, oversub="percentile"), "oversubscription"),
+        ],
+    )
+    def test_bad_knobs_fail_at_construction(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            RunSpec(**kwargs)
+
+
+class TestSerialization:
+    def test_round_trips_through_dict(self):
+        spec = RunSpec(
+            provider="ovhcloud", mix=(40, 30, 30), target_population=80,
+            seed=9, num_hosts=8, policy="best_fit", kernel="pruned",
+            shards=2, workers=2,
+        )
+        data = spec.to_dict()
+        assert data["version"] == 1
+        assert data["mix"] == [40.0, 30.0, 30.0]  # JSON-primitive form
+        clone = RunSpec.from_dict(data)
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_keys_every_field(self):
+        base = RunSpec()
+        assert base.fingerprint() != base.replace(seed=1).fingerprint()
+        assert base.fingerprint() != base.replace(kernel="pruned").fingerprint()
+        assert base.fingerprint() == RunSpec().fingerprint()
+
+    def test_from_dict_refuses_unknown_fields_and_versions(self):
+        with pytest.raises(ConfigError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"seeed": 3})
+        with pytest.raises(ConfigError, match="version 99"):
+            RunSpec.from_dict({"version": 99})
+
+    def test_replace_revalidates(self):
+        spec = RunSpec(num_hosts=8)
+        with pytest.raises(ConfigError, match="cannot split"):
+            spec.replace(shards=16)
+
+
+class TestBuilders:
+    def test_workload_is_pure_in_the_spec(self):
+        spec = RunSpec(target_population=50, seed=4)
+        one, two = build_workload(spec), build_workload(spec)
+        assert [vm.vm_id for vm in one] == [vm.vm_id for vm in two]
+        assert len(one) > 0
+
+    def test_machines_honor_explicit_count(self):
+        machines = build_machines(RunSpec(num_hosts=7))
+        assert len(machines) == 7
+        assert machines[0].cpus == 32 and machines[0].mem_gb == 128.0
+
+    def test_auto_size_floors_at_the_shard_count(self):
+        # A tiny workload demands fewer hosts than the shard count;
+        # the floor keeps every shard non-empty.
+        spec = RunSpec(target_population=2, shards=8, seed=1)
+        assert len(build_machines(spec)) >= 8
+
+    def test_auto_size_applies_headroom(self):
+        assert AUTO_SIZE_HEADROOM > 1.0
+        spec = RunSpec(target_population=60, seed=2)
+        sized = len(build_machines(spec))
+        assert sized >= 1
+
+    def test_config_carries_trace_levels_and_pooling(self):
+        spec = RunSpec(mix=(40, 30, 30), target_population=60, pooling=False)
+        cfg = build_config(spec)
+        assert cfg.pooling is False
+        assert {lvl.ratio for lvl in cfg.levels} <= {1.0, 2.0, 3.0}
+
+    def test_vector_engine_always_builds_the_dispatcher(self):
+        spec = RunSpec(num_hosts=4)
+        sim = build_simulation(spec, build_machines(spec))
+        assert isinstance(sim, ShardedSimulation)
+
+    def test_object_engine_builds_the_reference_simulation(self):
+        spec = RunSpec(engine="object", num_hosts=4)
+        sim = build_simulation(spec, build_machines(spec))
+        assert isinstance(sim, Simulation)
+
+    def test_object_engine_rejects_heterogeneous_fleets(self):
+        from repro.hardware import MachineSpec
+
+        spec = RunSpec(engine="object", num_hosts=2)
+        machines = [MachineSpec("a", 16, 64.0), MachineSpec("b", 32, 128.0)]
+        with pytest.raises(ConfigError, match="homogeneous"):
+            build_simulation(spec, machines)
+
+
+class TestRun:
+    def test_run_is_seed_reproducible(self):
+        spec = RunSpec(target_population=40, num_hosts=6, seed=11)
+        assert result_stream(run(spec)) == result_stream(run(spec))
+
+    def test_run_accounting_closes(self):
+        spec = RunSpec(target_population=40, num_hosts=6, seed=11)
+        wl = build_workload(spec)
+        result = run(spec)
+        assert len(result.placements) + len(result.rejections) == len(wl)
+
+    def test_sharded_spec_runs_end_to_end(self):
+        spec = RunSpec(
+            target_population=40, num_hosts=6, seed=11, shards=2, workers=1
+        )
+        result = run(spec)
+        wl = build_workload(spec)
+        assert len(result.placements) + len(result.rejections) == len(wl)
+
+    def test_run_accepts_an_override_workload(self):
+        spec = RunSpec(target_population=40, num_hosts=6, seed=11)
+        wl = build_workload(spec)[:10]
+        result = run(spec, workload=wl)
+        assert len(result.placements) + len(result.rejections) == 10
+
+
+class TestDeprecationShims:
+    def test_evaluate_distribution_warns_and_matches_the_new_api(self):
+        from repro.analysis import evaluate_distribution
+        from repro.api import evaluate
+        from repro.workload.catalog import OVHCLOUD
+
+        with pytest.warns(DeprecationWarning, match="repro.api.RunSpec"):
+            old = evaluate_distribution(
+                OVHCLOUD, "F", target_population=60, seed=42
+            )
+        spec = RunSpec(provider="ovhcloud", mix="F", target_population=60, seed=42)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            new = evaluate(spec)
+        assert new == old

@@ -44,10 +44,12 @@ def test_payload_shape(payload):
             )
         # Legacy schema-1 column: the incremental-vs-naive ratio.
         assert cell["speedup"] == cell["speedups"]["incremental"]
+        assert cell["shards"] == 1
     head = payload["headline"]
     assert head["policy"] in ("progress", "first_fit")
     assert head["num_hosts"] == 12
     assert set(head["speedups"]) == {"incremental", "pruned"}
+    assert payload["environment"]["cpus"] >= 1
 
 
 def test_headline_prefers_progress_at_largest_size(payload):
@@ -65,6 +67,42 @@ def test_scale_tier_cells():
     assert tiers == {(8, "standard"), (16, "scale")}
     assert payload["grid"]["scale_hosts"] == [16]
     assert payload["grid"]["scale_policies"] == ["first_fit"]
+
+
+def test_shard_tier_cells():
+    spec = EngineBenchSpec(
+        hosts=(8,), policies=("first_fit",), vms_per_host=2.0, warmup_vms=0,
+        shard_hosts=(16,), shard_counts=(2,), shard_policies=("progress",),
+        shard_vms_per_host=1.0, shard_warmup_vms=0,
+    )
+    payload = run_engine_bench(spec)
+    shard_cells = [c for c in payload["cells"] if c["tier"] == "shard"]
+    assert len(shard_cells) == 1
+    cell = shard_cells[0]
+    assert cell["num_hosts"] == 16 and cell["shards"] == 2
+    assert cell["verified"]
+    assert set(cell["kernels"]) == {"serial", "sharded", "inline"}
+    assert cell["kernels"]["inline"]["critical_path_s"] > 0
+    assert set(cell["speedups"]) == {"sharded", "critical_path"}
+    assert cell["speedups"]["critical_path"] == pytest.approx(
+        cell["kernels"]["serial"]["wall_s"]
+        / cell["kernels"]["inline"]["critical_path_s"]
+    )
+    # The shard tier never leaks into the kernel-comparison headline.
+    assert payload["headline"]["num_hosts"] == 8
+    head = payload["shard_headline"]
+    assert head["num_hosts"] == 16 and head["shards"] == 2
+    assert payload["grid"]["shard_hosts"] == [16]
+    assert payload["grid"]["shard_counts"] == [2]
+
+
+def test_shard_spec_validation():
+    with pytest.raises(BenchError):
+        EngineBenchSpec(shard_counts=(1,))
+    with pytest.raises(BenchError):
+        EngineBenchSpec(shard_hosts=(0,))
+    with pytest.raises(BenchError):
+        EngineBenchSpec(shard_policies=("nope",))
 
 
 def test_progress_callback_gets_one_line_per_cell():
@@ -150,6 +188,30 @@ def test_compare_rejects_schema_mismatch_and_bad_tolerance():
         compare_engine_bench({"schema": 999, "cells": []}, good)
     with pytest.raises(BenchError):
         compare_engine_bench(good, good, tolerance=1.5)
+
+
+def test_compare_keys_cells_by_shard_count():
+    # A 4-shard cell and a 1-shard cell at the same (hosts, policy)
+    # are distinct comparison keys — a shard regression can't hide
+    # behind a healthy serial cell.
+    def cell(shards, speedups):
+        return {
+            "num_hosts": 500, "policy": "progress", "shards": shards,
+            "speedup": speedups.get("incremental", 1.0),
+            "speedups": dict(speedups),
+        }
+
+    baseline = {"schema": SCHEMA, "cells": [
+        cell(1, {"incremental": 3.0, "pruned": 3.0}),
+        cell(4, {"sharded": 0.8, "critical_path": 3.0}),
+    ]}
+    current = {"schema": SCHEMA, "cells": [
+        cell(1, {"incremental": 3.0, "pruned": 3.0}),
+        cell(4, {"sharded": 0.8, "critical_path": 1.0}),
+    ]}
+    problems = compare_engine_bench(current, baseline, tolerance=0.5)
+    assert len(problems) == 1
+    assert "critical_path" in problems[0]
 
 
 def test_crossover_report_lists_sub_1x_cells_only():

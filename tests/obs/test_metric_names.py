@@ -35,6 +35,7 @@ def test_emit_sites_only_reference_known_names():
     import repro.bench.engine
     import repro.oversub.controller
     import repro.runner.runner
+    import repro.sharding.dispatcher
     import repro.simulator.engine
     import repro.simulator.vectorpool
 
@@ -44,6 +45,7 @@ def test_emit_sites_only_reference_known_names():
         repro.runner.runner,
         repro.bench.engine,
         repro.oversub.controller,
+        repro.sharding.dispatcher,
     ):
         tree = ast.parse(inspect.getsource(module))
         used = {

@@ -89,7 +89,9 @@ def test_failed_cell_is_recorded_and_siblings_complete(tmp_path):
     failed = result.results["nosuch/F/5"]
     assert ok.ok and ok.outcome is not None
     assert failed.status == "failed" and failed.outcome is None
-    assert failed.error["type"] == "RunnerError"
+    # RunSpec parsing happens inside the worker's fault capture, so a
+    # bad knob is a failed record (ConfigError), not a crashed sweep.
+    assert failed.error["type"] == "ConfigError"
     assert "unknown provider" in failed.error["message"]
     assert "Traceback" in failed.error["traceback"]
     assert failed.seed == 5  # the seed needed to replay the failure

@@ -165,3 +165,42 @@ def test_python_dash_m_entry_point():
     )
     assert proc.returncode == 0
     assert "audit" in proc.stdout
+
+
+def test_shard_command_verify_and_baseline(capsys):
+    assert main(["shard", "--provider", "ovhcloud", "--mix", "F",
+                 "--population", "40", "--seed", "3", "--hosts", "6",
+                 "--shards", "2", "--workers", "1",
+                 "--verify", "--baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "2 shard(s) via hash routing" in out
+    assert "byte-identical" in out
+    assert "unsharded baseline" in out
+
+
+def test_shard_command_checkpoint_resume(tmp_path, capsys):
+    ckpt = str(tmp_path / "shards.jsonl")
+    args = ["shard", "--population", "40", "--seed", "3", "--hosts", "6",
+            "--shards", "3", "--workers", "1", "--checkpoint", ckpt]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--resume"]) == 0
+    resumed = capsys.readouterr().out
+    # Identical placed/rejected/pooled counts whether computed or
+    # replayed from the checkpoint (the wall clock line differs).
+    def counts(out):
+        line = next(ln for ln in out.splitlines() if ln.startswith("sharded"))
+        return line.split("ev/s), ")[1]
+    assert counts(first) == counts(resumed)
+
+
+def test_shard_resume_requires_checkpoint():
+    with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+        main(["shard", "--resume", "--hosts", "4", "--population", "10"])
+
+
+def test_evaluate_with_shards(capsys):
+    assert main(["evaluate", "--provider", "ovhcloud", "--mix", "F",
+                 "--population", "60", "--seed", "1",
+                 "--shards", "2"]) == 0
+    assert "savings" in capsys.readouterr().out
