@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-engine bench-shard golden repro examples clean lint typecheck sweep-oversub-smoke
+.PHONY: install test bench bench-engine bench-shard golden repro examples clean lint typecheck sweep-oversub-smoke serve-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,21 @@ sweep-oversub-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/oversub/test_golden_static.py -q
 	PYTHONPATH=src $(PYTHON) -m repro oversub --population 60 --seed 3 \
 		--update-every 1800
+
+# Online-service smoke: the serving suite, a 30s-virtual-time run at a
+# fixed seed (completes in well under a second of wall time) with a
+# parseable SLO report and finite p99, and a clean determinism lint on
+# the package (no baseline allowance).  Mirrors CI's serving-smoke job.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/serving -q
+	PYTHONPATH=src $(PYTHON) -m repro serve --duration 30 --rate 50 \
+		--seed 7 --report serving_slo.json
+	PYTHONPATH=src $(PYTHON) -c "import json, math; \
+		r = json.load(open('serving_slo.json')); \
+		p99 = r['latency']['placement_p99_s']; \
+		assert math.isfinite(p99) and p99 > 0, p99; \
+		print('p99 %.3f ms, %d arrivals' % (p99 * 1e3, r['counts']['arrivals']))"
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/repro/serving
 
 repro:
 	$(PYTHON) scripts/reproduce_all.py -o REPORT.md

@@ -13,6 +13,10 @@ Exposes the library's main workflows without writing Python:
 * ``slackvm shard`` — one workload through the sharded dispatcher
   (N vector-engine shards in worker processes), with optional
   inline-vs-pool byte-identity verification and speedup reporting;
+* ``slackvm serve`` — the asyncio online placement service on virtual
+  time: open-loop seeded traffic through a bounded admission queue
+  into controller shard(s), emitting a JSON SLO report (placement
+  latency p50/p99, queue depth, timeout and rejection rates);
 * ``slackvm testbed`` — the Table IV / Fig. 2 isolation experiment;
 * ``slackvm audit`` — differential replay of one workload through both
   engines (object + vectorized), reporting the first divergence and
@@ -220,6 +224,48 @@ def build_parser() -> argparse.ArgumentParser:
     sh.add_argument("--baseline", action="store_true",
                     help="also run the unsharded single-process engine "
                          "and report the sharded speedup over it")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the online placement service on virtual time "
+             "(open-loop traffic, bounded queue, SLO report)",
+    )
+    sv.add_argument("--provider", choices=sorted(PROVIDERS), default="azure")
+    sv.add_argument("--mix", default="F",
+                    help=f"level mix, one of {'/'.join(DISTRIBUTIONS)} "
+                         "or S1,S2,S3 percent shares")
+    sv.add_argument("--duration", type=float, default=30.0,
+                    help="admission window, virtual seconds (default 30)")
+    sv.add_argument("--rate", type=float, default=50.0,
+                    help="mean arrival rate, requests per virtual second "
+                         "(default 50)")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--hosts", type=int, default=0,
+                    help="fleet size; 0 auto-sizes from Little's law "
+                         "(rate x mean lifetime at the catalog's mean "
+                         "footprint, default)")
+    sv.add_argument("--machine", type=_machine, default=SIM_WORKER,
+                    help="host spec as CPUS:MEM_GB (default 32:128)")
+    sv.add_argument("--policy", choices=POLICIES, default="progress")
+    sv.add_argument("--shards", type=int, default=1,
+                    help="independent controller shards behind the "
+                         "hash router (default 1)")
+    sv.add_argument("--queue-bound", type=int, default=64,
+                    help="admission queue bound; arrivals beyond it are "
+                         "rejected (default 64)")
+    sv.add_argument("--timeout", type=float, default=5.0,
+                    help="request timeout, virtual seconds (default 5)")
+    sv.add_argument("--mean-lifetime", type=float, default=20.0,
+                    help="mean VM lifetime, virtual seconds (default 20)")
+    sv.add_argument("--service-mean", type=float, default=0.005,
+                    help="mean per-decision scheduler service time, "
+                         "virtual seconds (default 0.005)")
+    sv.add_argument("--diurnal", type=float, default=0.0,
+                    help="diurnal rate-modulation amplitude in [0,1) "
+                         "(default 0: flat)")
+    sv.add_argument("--report", default=None,
+                    help="write the JSON SLO report (includes the "
+                         "decision log) to this path")
 
     tb = sub.add_parser("testbed",
                         help="run the Table IV / Fig. 2 isolation experiment")
@@ -546,6 +592,37 @@ def _cmd_shard(args) -> int:
     return rc
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import ServiceSpec, serve
+
+    spec = ServiceSpec(
+        provider=args.provider,
+        mix=_parse_mix(args.mix),
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        mean_lifetime=args.mean_lifetime,
+        diurnal_amplitude=args.diurnal,
+        num_hosts=args.hosts,
+        host_cpus=args.machine.cpus,
+        host_mem_gb=args.machine.mem_gb,
+        shards=args.shards,
+        policy=args.policy,
+        queue_bound=args.queue_bound,
+        timeout_s=args.timeout,
+        service_mean=args.service_mean,
+    )
+    report = serve(spec)
+    print(report.summary())
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote SLO report to {args.report}")
+    return 0
+
+
 def _cmd_testbed(args) -> None:
     from repro.perfmodel import TestbedParams, run_testbed
 
@@ -697,6 +774,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "oversub": _cmd_oversub,
     "shard": _cmd_shard,
+    "serve": _cmd_serve,
     "testbed": _cmd_testbed,
     "audit": _cmd_audit,
     "bench": _cmd_bench,

@@ -6,6 +6,7 @@ from repro.core.errors import (
     ConfigError,
     PlacementError,
     ReproError,
+    ServingError,
     SimulationError,
     TopologyError,
     WorkloadError,
@@ -30,6 +31,7 @@ __all__ = [
     "PlacementError",
     "WorkloadError",
     "SimulationError",
+    "ServingError",
     "ResourceVector",
     "OversubscriptionLevel",
     "LEVEL_1_1",

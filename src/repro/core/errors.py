@@ -16,6 +16,7 @@ __all__ = [
     "SimulationError",
     "RunnerError",
     "ShardingError",
+    "ServingError",
 ]
 
 
@@ -57,3 +58,9 @@ class RunnerError(ReproError):
 class ShardingError(ReproError):
     """A sharded run failed: a shard worker raised, a merge invariant
     broke, or a shard checkpoint does not match its plan."""
+
+
+class ServingError(ReproError):
+    """The online placement service reached an inconsistent state — a
+    virtual-time deadlock (every coroutine blocked with no sleeper to
+    wake) or a lifecycle command referencing an unknown request."""

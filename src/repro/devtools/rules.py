@@ -180,6 +180,7 @@ DECISION_PACKAGES = (
     "repro.obs",
     "repro.runner",
     "repro.sharding",
+    "repro.serving",
     "repro.api",
     "repro.hardware",
     "scripts",

@@ -45,6 +45,17 @@ __all__ = [
     "SHARD_IMBALANCE",
     "SHARD_WALL_S",
     "SHARD_MERGE_S",
+    "SERVING_ARRIVALS",
+    "SERVING_PLACED",
+    "SERVING_PENDING",
+    "SERVING_REJECTED",
+    "SERVING_TIMEOUTS",
+    "SERVING_DEPARTURES",
+    "SERVING_LATENCY_PLACEMENT",
+    "SERVING_LATENCY_WAIT",
+    "SERVING_QUEUE_DEPTH",
+    "SERVING_TIMEOUT_RATE",
+    "SERVING_REJECT_RATE",
     "ALL_METRIC_NAMES",
 ]
 
@@ -115,6 +126,34 @@ SHARD_WALL_S = "shard.wall_s"
 #: Timer — wall clock of the dispatcher's result-stream merge.
 SHARD_MERGE_S = "shard.merge_s"
 
+# -- online placement service (repro.serving) --------------------------------
+
+#: Counter — service requests generated inside the admission window.
+SERVING_ARRIVALS = "serving.arrivals"
+#: Counter — requests placed ACTIVE by the scheduler task.
+SERVING_PLACED = "serving.placed"
+#: Counter — requests admitted to a controller's capacity-pending queue.
+SERVING_PENDING = "serving.pending"
+#: Counter — requests rejected by backpressure (service queue at its
+#: bound) or a full controller pending queue.
+SERVING_REJECTED = "serving.rejected"
+#: Counter — requests that exceeded the placement timeout while queued
+#: or capacity-pending.
+SERVING_TIMEOUTS = "serving.timeouts"
+#: Counter — placed VMs released at the end of their lifetime.
+SERVING_DEPARTURES = "serving.departures"
+#: Histogram — wall-clock seconds of scheduler compute per decision
+#: (the user-facing latency of the placement kernel itself).
+SERVING_LATENCY_PLACEMENT = "serving.latency.placement"
+#: Histogram — virtual seconds from arrival to placement decision.
+SERVING_LATENCY_WAIT = "serving.latency.wait"
+#: Histogram — service queue depth sampled at each admission attempt.
+SERVING_QUEUE_DEPTH = "serving.queue.depth"
+#: Gauge — timeouts / arrivals over the completed run.
+SERVING_TIMEOUT_RATE = "serving.timeout.rate"
+#: Gauge — rejections / arrivals over the completed run.
+SERVING_REJECT_RATE = "serving.reject.rate"
+
 #: Every registered metric name; the R008 fixture tests and the
 #: registry round-trip test key off this set.
 ALL_METRIC_NAMES: frozenset[str] = frozenset(
@@ -146,5 +185,16 @@ ALL_METRIC_NAMES: frozenset[str] = frozenset(
         SHARD_IMBALANCE,
         SHARD_WALL_S,
         SHARD_MERGE_S,
+        SERVING_ARRIVALS,
+        SERVING_PLACED,
+        SERVING_PENDING,
+        SERVING_REJECTED,
+        SERVING_TIMEOUTS,
+        SERVING_DEPARTURES,
+        SERVING_LATENCY_PLACEMENT,
+        SERVING_LATENCY_WAIT,
+        SERVING_QUEUE_DEPTH,
+        SERVING_TIMEOUT_RATE,
+        SERVING_REJECT_RATE,
     }
 )

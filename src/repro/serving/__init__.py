@@ -1,0 +1,41 @@
+"""repro.serving — the asyncio online placement service.
+
+Wraps :class:`~repro.controlplane.controller.CloudController` shards
+behind a bounded admission queue driven by open-loop seeded traffic on
+a virtual clock.  See docs/ARCHITECTURE.md §15.
+"""
+
+from repro.serving.clock import VirtualClock, run_virtual
+from repro.serving.config import (
+    DAY,
+    DIST_KINDS,
+    DiurnalConfig,
+    RVConfig,
+    TrafficConfig,
+)
+from repro.serving.generator import RequestSource, ServiceRequest, arrival_times
+from repro.serving.service import (
+    SERVICE_SPEC_VERSION,
+    PlacementService,
+    ServiceReport,
+    ServiceSpec,
+    serve,
+)
+
+__all__ = [
+    "DAY",
+    "DIST_KINDS",
+    "DiurnalConfig",
+    "RVConfig",
+    "TrafficConfig",
+    "VirtualClock",
+    "run_virtual",
+    "RequestSource",
+    "ServiceRequest",
+    "arrival_times",
+    "SERVICE_SPEC_VERSION",
+    "PlacementService",
+    "ServiceReport",
+    "ServiceSpec",
+    "serve",
+]

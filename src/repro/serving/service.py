@@ -1,0 +1,643 @@
+"""The asyncio online placement service.
+
+Architecture (docs/ARCHITECTURE.md §15)::
+
+    RequestSource ──► bounded admission queue ──► scheduler task ──► CloudController shard(s)
+      (open loop)        (backpressure)         (single writer)        (filter/weigher pipeline)
+
+Three coroutine families share one virtual clock:
+
+* the **arrival loop** draws the open-loop request stream and admits
+  each request to the bounded queue — or rejects it on the spot when
+  the backlog sits at the bound (open-loop backpressure: the generator
+  never slows down, the service sheds);
+* the **scheduler task** is the *single writer* over the controllers:
+  it drains admissions, spends a sampled service time per decision,
+  then routes the request to its controller shard; departure and
+  timeout coroutines never mutate cluster state themselves — they
+  enqueue commands the scheduler executes in FIFO order;
+* per-VM **departure** sleepers and pending-**timeout** watchdogs.
+
+Everything observable is deterministic per seed — the decision log and
+the controllers' audit logs replay byte-for-byte — except the wall
+-clock placement-latency histogram, which is the point: it prices the
+scheduler's compute (the placement kernel) in user-facing seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+import time
+from dataclasses import dataclass, fields
+from hashlib import sha256
+from json import dumps
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.run import build_machines
+from repro.api.spec import RunSpec
+from repro.controlplane.controller import CloudController, VMState, VMTicket
+from repro.core.config import SlackVMConfig
+from repro.core.errors import CapacityError, ConfigError
+from repro.core.types import VMRequest
+from repro.hardware.machine import MachineSpec
+from repro.obs import names as metric_names
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.scheduling.baselines import scheduler_for_policy
+from repro.serving.clock import VirtualClock, run_virtual
+from repro.serving.config import DIST_KINDS, RVConfig, TrafficConfig
+from repro.serving.generator import RequestSource, ServiceRequest
+from repro.sharding.router import HashRouter
+from repro.simulator.vectorpool import POLICIES
+from repro.workload.catalog import OVERSUB_MEM_CAP_GB, PROVIDERS, Catalog
+from repro.workload.distributions import DISTRIBUTIONS, LevelMix
+
+__all__ = [
+    "SERVICE_SPEC_VERSION",
+    "ServiceSpec",
+    "PlacementService",
+    "ServiceReport",
+    "serve",
+]
+
+#: Bump when the field set changes incompatibly (fingerprints shift).
+SERVICE_SPEC_VERSION = 1
+
+#: Headroom over the Little's-law demand estimate when auto-sizing.
+AUTO_SIZE_HEADROOM = 1.25
+
+#: Sentinel closing the scheduler task's command queue.
+_STOP = None
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One service run, fully described (the serving twin of RunSpec).
+
+    ``rate`` is the mean arrival rate in requests per *virtual* second
+    and ``duration`` the admission window in virtual seconds; requests
+    already queued when the window closes are still served.
+    ``num_hosts=0`` auto-sizes the fleet from Little's law
+    (``rate * mean_lifetime`` concurrent VMs at the catalog's mean
+    footprint, with :data:`AUTO_SIZE_HEADROOM`).  ``shards`` splits the
+    fleet into that many independent :class:`CloudController` shards
+    behind a seeded consistent-hash router.
+    """
+
+    # -- traffic -------------------------------------------------------------
+    provider: str = "azure"
+    mix: Union[str, LevelMix] = "F"
+    rate: float = 50.0
+    duration: float = 30.0
+    seed: int = 0
+    mean_lifetime: float = 20.0
+    interarrival_kind: str = "exponential"
+    lifetime_kind: str = "exponential"
+    diurnal_amplitude: float = 0.0
+
+    # -- topology ------------------------------------------------------------
+    num_hosts: int = 0
+    host_cpus: int = 32
+    host_mem_gb: float = 128.0
+    shards: int = 1
+
+    # -- scheduling ----------------------------------------------------------
+    policy: str = "progress"
+    queue_bound: int = 64
+    timeout_s: float = 5.0
+    max_pending: int = 1000
+    service_kind: str = "exponential"
+    service_mean: float = 0.005
+
+    def __post_init__(self) -> None:
+        if isinstance(self.mix, str):
+            if self.mix.upper() not in DISTRIBUTIONS:
+                raise ConfigError(
+                    f"unknown mix {self.mix!r}; expected a letter "
+                    f"{'/'.join(DISTRIBUTIONS)} or a percent triple"
+                )
+            object.__setattr__(self, "mix", self.mix.upper())
+        else:
+            mix = tuple(float(s) for s in self.mix)
+            if len(mix) != 3:
+                raise ConfigError(f"mix triple must have 3 shares, got {len(mix)}")
+            object.__setattr__(self, "mix", mix)
+        if self.provider not in PROVIDERS:
+            raise ConfigError(
+                f"unknown provider {self.provider!r}; "
+                f"expected one of {sorted(PROVIDERS)}"
+            )
+        for name in ("rate", "duration", "mean_lifetime", "timeout_s",
+                     "service_mean"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigError(f"{name} must be a number, got {value!r}")
+            if not math.isfinite(float(value)) or float(value) <= 0:
+                raise ConfigError(f"{name} must be positive and finite, "
+                                  f"got {value!r}")
+            object.__setattr__(self, name, float(value))
+        for kind_field in ("interarrival_kind", "lifetime_kind", "service_kind"):
+            kind = getattr(self, kind_field)
+            if kind not in DIST_KINDS:
+                raise ConfigError(
+                    f"unknown {kind_field} {kind!r}; expected one of {DIST_KINDS}"
+                )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError(
+                f"diurnal_amplitude must be in [0, 1), "
+                f"got {self.diurnal_amplitude!r}"
+            )
+        if self.num_hosts < 0:
+            raise ConfigError("num_hosts must be >= 0 (0 = auto-size)")
+        if self.host_cpus <= 0 or self.host_mem_gb <= 0:
+            raise ConfigError("host_cpus and host_mem_gb must be positive")
+        if self.shards < 1:
+            raise ConfigError(f"need at least one shard, got {self.shards}")
+        if self.num_hosts and self.shards > self.num_hosts:
+            raise ConfigError(
+                f"cannot split {self.num_hosts} hosts into {self.shards} shards"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.queue_bound < 1:
+            raise ConfigError("queue_bound must be >= 1")
+        if self.max_pending < 0:
+            raise ConfigError("max_pending must be >= 0")
+
+    # -- derived views -------------------------------------------------------
+
+    def traffic(self) -> TrafficConfig:
+        """The validated traffic payload this spec describes."""
+        return TrafficConfig(
+            interarrival=RVConfig(self.interarrival_kind, 1.0 / self.rate),
+            lifetime=RVConfig(self.lifetime_kind, self.mean_lifetime),
+            diurnal=(
+                TrafficConfig.open_loop(
+                    self.rate, self.mean_lifetime, self.diurnal_amplitude
+                ).diurnal
+                if self.diurnal_amplitude > 0
+                else None
+            ),
+        )
+
+    def service_time(self) -> RVConfig:
+        """Per-decision scheduler service time (virtual seconds)."""
+        return RVConfig(self.service_kind, self.service_mean)
+
+    # -- serialization (same discipline as RunSpec) --------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {"version": SERVICE_SPEC_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceSpec":
+        version = data.get("version", SERVICE_SPEC_VERSION)
+        if version != SERVICE_SPEC_VERSION:
+            raise ConfigError(
+                f"ServiceSpec version {version} is not supported "
+                f"(this build speaks {SERVICE_SPEC_VERSION})"
+            )
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - names - {"version"})
+        if unknown:
+            raise ConfigError(f"unknown ServiceSpec fields: {unknown}")
+        kwargs = {k: v for k, v in data.items() if k in names}
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        canon = dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    def replace(self, **changes: Any) -> "ServiceSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)
+
+
+def _mean_footprint(catalog: Catalog, mix: Union[str, LevelMix]) -> Tuple[float, float]:
+    """Expected physical (cpu, mem) per VM under the mix shares."""
+    from repro.workload.distributions import mix_shares
+
+    restricted = catalog.restricted(OVERSUB_MEM_CAP_GB)
+    cpu = mem = 0.0
+    for ratio, share in sorted(mix_shares(mix).items()):
+        if share <= 0:
+            continue
+        cat = catalog if ratio <= 1.0 else restricted
+        mean_vcpus = sum(p * s.vcpus for s, p in cat.entries)
+        mean_mem = sum(p * s.mem_gb for s, p in cat.entries)
+        cpu += share * mean_vcpus / ratio
+        mem += share * mean_mem
+    return cpu, mem
+
+
+def auto_size(spec: ServiceSpec) -> int:
+    """Little's-law fleet size: steady-state population × mean footprint."""
+    population = spec.rate * spec.mean_lifetime
+    cpu, mem = _mean_footprint(PROVIDERS[spec.provider], spec.mix)
+    hosts = max(
+        population * cpu / spec.host_cpus,
+        population * mem / spec.host_mem_gb,
+    )
+    return max(spec.shards, 1, math.ceil(hosts * AUTO_SIZE_HEADROOM))
+
+
+def build_fleet(spec: ServiceSpec) -> List[MachineSpec]:
+    """The service's host fleet, constructed through the RunSpec seam."""
+    count = spec.num_hosts if spec.num_hosts else auto_size(spec)
+    run_spec = RunSpec(
+        provider=spec.provider,
+        mix=spec.mix,
+        seed=spec.seed,
+        num_hosts=count,
+        host_cpus=spec.host_cpus,
+        host_mem_gb=spec.host_mem_gb,
+        policy=spec.policy,
+        shards=spec.shards,
+    )
+    return build_machines(run_spec)
+
+
+def _split_fleet(machines: List[MachineSpec], shards: int) -> List[List[MachineSpec]]:
+    """Balanced contiguous host blocks, largest remainders first —
+    the same geometry as :class:`repro.sharding.dispatcher.ShardPlan`."""
+    base, extra = divmod(len(machines), shards)
+    blocks: List[List[MachineSpec]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        blocks.append(machines[start:start + size])
+        start += size
+    return blocks
+
+
+@dataclass
+class ServiceReport:
+    """The SLO report of one completed service run."""
+
+    spec: ServiceSpec
+    counts: Dict[str, int]
+    rates: Dict[str, float]
+    latency: Dict[str, float]
+    queue: Dict[str, float]
+    cluster: Dict[str, float]
+    decision_log: List[str]
+    fingerprint: str  # sha256 over decision + audit logs (determinism key)
+
+    def to_dict(self, include_log: bool = True) -> dict:
+        out = {
+            "spec": self.spec.to_dict(),
+            "counts": self.counts,
+            "rates": self.rates,
+            "latency": self.latency,
+            "queue": self.queue,
+            "cluster": self.cluster,
+            "fingerprint": self.fingerprint,
+        }
+        if include_log:
+            out["decision_log"] = list(self.decision_log)
+        return out
+
+    def summary(self) -> str:
+        c = self.counts
+        lines = [
+            f"served {c['arrivals']} arrivals over {self.spec.duration:g} "
+            f"virtual s on {int(self.cluster['hosts'])} host(s), "
+            f"{self.spec.shards} shard(s)",
+            f"placed {c['placed']} ({c['pending']} capacity-pending), "
+            f"rejected {c['rejected']}, timed out {c['timeouts']}, "
+            f"departed {c['departures']}",
+            f"placement latency p50 {self.latency['placement_p50_s'] * 1e3:.3f} ms"
+            f" / p99 {self.latency['placement_p99_s'] * 1e3:.3f} ms (wall), "
+            f"wait p99 {self.latency['wait_p99_s']:.3f} s (virtual)",
+            f"queue depth max {int(self.queue['depth_max'])} "
+            f"(bound {int(self.queue['bound'])}); "
+            f"timeout rate {self.rates['timeout']:.2%}, "
+            f"rejection rate {self.rates['reject']:.2%}",
+            f"decision log {len(self.decision_log)} entries, "
+            f"sha256 {self.fingerprint[:16]}",
+        ]
+        return "\n".join(lines)
+
+
+def _hist_stats(hist: Histogram, prefix: str, unit: str = "s") -> Dict[str, float]:
+    snap = hist.snapshot()
+    count = int(snap.get("count", 0))
+    stats = {f"{prefix}_count": float(count)}
+    for key in ("mean", "p50", "p99", "max"):
+        value = snap.get(key, 0.0)
+        stats[f"{prefix}_{key}_{unit}" if key != "max" else f"{prefix}_max_{unit}"] = (
+            float(value) if count else 0.0
+        )
+    return stats
+
+
+class PlacementService:
+    """The long-running control-plane service over controller shards.
+
+    Construct, then drive :meth:`run` with
+    :func:`~repro.serving.clock.run_virtual` (or call :func:`serve`).
+    A service instance is single-use: one admission window, one report.
+    """
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        clock: Optional[VirtualClock] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.spec = spec
+        self.clock = clock if clock is not None else VirtualClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        traffic_seed, service_seed = np.random.SeedSequence(spec.seed).spawn(2)
+        self.source = RequestSource(
+            PROVIDERS[spec.provider], spec.mix, spec.traffic(), traffic_seed
+        )
+        self._service_rng = np.random.default_rng(service_seed)
+        self._service_time = spec.service_time()
+        config = SlackVMConfig()
+        self.controllers = [
+            CloudController(
+                block,
+                config,
+                scheduler_for_policy(spec.policy),
+                max_pending=spec.max_pending,
+            )
+            for block in _split_fleet(build_fleet(spec), spec.shards)
+        ]
+        self._router = HashRouter(spec.shards, seed=spec.seed)
+        self._queue: "asyncio.Queue[Optional[Tuple[str, Any]]]" = asyncio.Queue()
+        self._backlog = 0
+        self._placed: Dict[str, Tuple[int, str]] = {}
+        self._side_tasks: List["asyncio.Task[None]"] = []
+        #: Append-only, seed-deterministic ledger of every decision.
+        self.decision_log: List[str] = []
+        self.counts: Dict[str, int] = {
+            "arrivals": 0,
+            "placed": 0,
+            "pending": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "departures": 0,
+        }
+        self._lat_place = Histogram("lat_place")
+        self._lat_wait = Histogram("lat_wait")
+        self._depth = Histogram("depth")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def run(self) -> ServiceReport:
+        """One full service run: admit, serve, drain, report."""
+        arrivals = asyncio.ensure_future(self._arrival_loop())
+        scheduler = asyncio.ensure_future(self._scheduler_loop())
+        try:
+            await arrivals
+            # The admission window is closed; everything already queued
+            # is still served, later departure/expiry commands are not.
+            self._queue.put_nowait(_STOP)
+            await scheduler
+        finally:
+            for task in self._side_tasks:
+                task.cancel()
+        self._final_gauges()
+        return self.report()
+
+    # -- coroutines ----------------------------------------------------------
+
+    async def _arrival_loop(self) -> None:
+        spec = self.spec
+        metrics = self.metrics
+        closes = self.clock.now() + spec.duration  # admission window end
+        while True:
+            gap, request = self.source.next_request(self.clock.now())
+            if request.arrival > closes:
+                return
+            await self.clock.sleep(gap)
+            self.counts["arrivals"] += 1
+            self._depth.observe(self._backlog)
+            if metrics.enabled:
+                metrics.counter(metric_names.SERVING_ARRIVALS).inc()
+                metrics.histogram(metric_names.SERVING_QUEUE_DEPTH).observe(
+                    self._backlog
+                )
+            if self._backlog >= spec.queue_bound:
+                self.counts["rejected"] += 1
+                if metrics.enabled:
+                    metrics.counter(metric_names.SERVING_REJECTED).inc()
+                self._log("reject", request.req_id, f"depth={self._backlog}")
+                continue
+            self._backlog += 1
+            self._queue.put_nowait(("arrive", request))
+
+    async def _scheduler_loop(self) -> None:
+        """The single writer: every controller mutation happens here."""
+        while True:
+            command = await self._queue.get()
+            if command is _STOP:
+                return
+            kind, payload = command
+            if kind == "arrive":
+                self._backlog -= 1
+                await self._handle_arrival(payload)
+            elif kind == "depart":
+                self._handle_departure(payload)
+            else:  # "expire"
+                self._handle_expiry(payload)
+
+    async def _departure(self, request: ServiceRequest) -> None:
+        """Sleep out the VM's lifetime, then ask the scheduler to free it."""
+        await self.clock.sleep(request.lifetime)
+        self._queue.put_nowait(("depart", request.req_id))
+
+    async def _expiry(self, request: ServiceRequest) -> None:
+        """Watchdog for capacity-pending requests: give up at the deadline."""
+        deadline = request.arrival + self.spec.timeout_s
+        await self.clock.sleep(max(0.0, deadline - self.clock.now()))
+        self._queue.put_nowait(("expire", request.req_id))
+
+    def _spawn(self, coro: "asyncio.coroutines.Coroutine[Any, Any, None]") -> None:
+        self._side_tasks.append(asyncio.ensure_future(coro))
+
+    # -- command handlers (scheduler task only) ------------------------------
+
+    async def _handle_arrival(self, request: ServiceRequest) -> None:
+        spec = self.spec
+        metrics = self.metrics
+        now = self.clock.now()
+        if now - request.arrival > spec.timeout_s:
+            self.counts["timeouts"] += 1
+            if metrics.enabled:
+                metrics.counter(metric_names.SERVING_TIMEOUTS).inc()
+            self._log("timeout", request.req_id,
+                      f"stage=queue waited={now - request.arrival:.6f}")
+            return
+        await self.clock.sleep(self._service_time.sample(self._service_rng))
+        shard = self._route(request)
+        controller = self.controllers[shard]
+        started = time.perf_counter()
+        try:
+            ticket = controller.request(request.spec, request.level)
+        except CapacityError:  # controller pending queue at max_pending
+            self.counts["rejected"] += 1
+            if metrics.enabled:
+                metrics.counter(metric_names.SERVING_REJECTED).inc()
+            self._log("reject", request.req_id, f"shard={shard} pending-full")
+            return
+        wall = time.perf_counter() - started
+        wait = self.clock.now() - request.arrival
+        self._lat_place.observe(wall)
+        self._lat_wait.observe(wait)
+        if metrics.enabled:
+            metrics.histogram(metric_names.SERVING_LATENCY_PLACEMENT).observe(wall)
+            metrics.histogram(metric_names.SERVING_LATENCY_WAIT).observe(wait)
+        self._placed[request.req_id] = (shard, ticket.vm_id)
+        if ticket.state is VMState.ACTIVE:
+            self.counts["placed"] += 1
+            if metrics.enabled:
+                metrics.counter(metric_names.SERVING_PLACED).inc()
+            self._log(
+                "place", request.req_id,
+                f"shard={shard} host={ticket.host} vm={ticket.vm_id} "
+                f"pooled={int(ticket.pooled)} wait={wait:.6f}",
+            )
+        else:
+            self.counts["pending"] += 1
+            if metrics.enabled:
+                metrics.counter(metric_names.SERVING_PENDING).inc()
+            self._log("pend", request.req_id,
+                      f"shard={shard} vm={ticket.vm_id} wait={wait:.6f}")
+            self._spawn(self._expiry(request))
+        self._spawn(self._departure(request))
+
+    def _handle_departure(self, req_id: str) -> None:
+        placed = self._placed.get(req_id)
+        if placed is None:
+            return  # never reached a controller (queue timeout)
+        shard, vm_id = placed
+        controller = self.controllers[shard]
+        if controller.ticket(vm_id).state is VMState.DELETED:
+            return  # expired out of the pending queue earlier
+        controller.delete(vm_id)
+        self.counts["departures"] += 1
+        if self.metrics.enabled:
+            self.metrics.counter(metric_names.SERVING_DEPARTURES).inc()
+        self._log("depart", req_id, f"shard={shard} vm={vm_id}")
+
+    def _handle_expiry(self, req_id: str) -> None:
+        placed = self._placed.get(req_id)
+        if placed is None:
+            return
+        shard, vm_id = placed
+        controller = self.controllers[shard]
+        if controller.ticket(vm_id).state is not VMState.PENDING:
+            return  # promoted to ACTIVE (or already gone) before the deadline
+        controller.delete(vm_id)
+        self.counts["timeouts"] += 1
+        if self.metrics.enabled:
+            self.metrics.counter(metric_names.SERVING_TIMEOUTS).inc()
+        self._log("timeout", req_id, f"shard={shard} stage=pending vm={vm_id}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _route(self, request: ServiceRequest) -> int:
+        if self.spec.shards == 1:
+            return 0
+        probe = VMRequest(
+            vm_id=request.req_id, spec=request.spec, level=request.level
+        )
+        return self._router.route(probe)
+
+    def _log(self, event: str, req_id: str, detail: str = "") -> None:
+        line = f"{self.clock.now():.6f} {event} {req_id}"
+        if detail:
+            line = f"{line} {detail}"
+        self.decision_log.append(line)
+
+    def _final_gauges(self) -> None:
+        arrivals = self.counts["arrivals"]
+        timeout_rate = self.counts["timeouts"] / arrivals if arrivals else 0.0
+        reject_rate = self.counts["rejected"] / arrivals if arrivals else 0.0
+        if self.metrics.enabled:
+            self.metrics.gauge(metric_names.SERVING_TIMEOUT_RATE).set(timeout_rate)
+            self.metrics.gauge(metric_names.SERVING_REJECT_RATE).set(reject_rate)
+
+    def audit_fingerprint(self) -> str:
+        """sha256 over the decision log and every shard's audit log."""
+        digest = sha256()
+        for line in self.decision_log:
+            digest.update(line.encode("utf-8") + b"\n")
+        for shard, controller in enumerate(self.controllers):
+            for action, vm_id, detail in controller.audit_log:
+                digest.update(f"{shard}|{action}|{vm_id}|{detail}\n".encode("utf-8"))
+        return digest.hexdigest()
+
+    def tickets(self) -> List[VMTicket]:
+        """Every ticket across shards, in shard-then-creation order."""
+        out: List[VMTicket] = []
+        for controller in self.controllers:
+            out.extend(controller.list_vms())
+        return out
+
+    def report(self) -> ServiceReport:
+        arrivals = self.counts["arrivals"]
+        active = pending = hosts = 0
+        alloc_cpu = alloc_mem = cap_cpu = cap_mem = 0.0
+        for controller in self.controllers:
+            state = controller.state()
+            hosts += state.num_hosts
+            active += state.active_vms
+            pending += state.pending_vms
+            alloc_cpu += state.allocated.cpu
+            alloc_mem += state.allocated.mem
+            cap_cpu += state.capacity.cpu
+            cap_mem += state.capacity.mem
+        latency = {}
+        latency.update(_hist_stats(self._lat_place, "placement"))
+        latency.update(_hist_stats(self._lat_wait, "wait"))
+        depth_snap = self._depth.snapshot()
+        queue = {
+            "bound": float(self.spec.queue_bound),
+            "depth_max": float(depth_snap.get("max", 0.0) or 0.0),
+            "depth_mean": float(depth_snap.get("mean", 0.0) or 0.0),
+            "depth_p99": float(depth_snap.get("p99", 0.0) or 0.0),
+        }
+        return ServiceReport(
+            spec=self.spec,
+            counts=dict(self.counts),
+            rates={
+                "timeout": self.counts["timeouts"] / arrivals if arrivals else 0.0,
+                "reject": self.counts["rejected"] / arrivals if arrivals else 0.0,
+            },
+            latency=latency,
+            queue=queue,
+            cluster={
+                "hosts": float(hosts),
+                "shards": float(self.spec.shards),
+                "active_vms": float(active),
+                "pending_vms": float(pending),
+                "cpu_allocation_share": alloc_cpu / cap_cpu if cap_cpu else 0.0,
+                "mem_allocation_share": alloc_mem / cap_mem if cap_mem else 0.0,
+            },
+            decision_log=list(self.decision_log),
+            fingerprint=self.audit_fingerprint(),
+        )
+
+
+def serve(
+    spec: ServiceSpec,
+    metrics: Optional[MetricsRegistry] = None,
+    clock: Optional[VirtualClock] = None,
+) -> ServiceReport:
+    """Run one service admission window on virtual time and report."""
+    service = PlacementService(spec, clock=clock, metrics=metrics)
+    return run_virtual(service.run(), service.clock)

@@ -96,6 +96,21 @@ class TestPendingQueue:
         c.delete(queued.vm_id)
         assert c.state().pending_vms == 0
 
+    def test_drain_is_fifo_fair_across_multiple_deletes(self):
+        # Regression for the serving layer's fairness contract: with
+        # equally-sized waiters, repeated deletes must promote them in
+        # strict arrival order — no later request may jump the queue.
+        c = controller(n=1, cpus=4)
+        active = [c.request(VMSpec(2, 2.0), LEVEL_1_1) for _ in range(2)]
+        waiters = [c.request(VMSpec(2, 2.0), LEVEL_1_1) for _ in range(4)]
+        assert all(w.state is VMState.PENDING for w in waiters)
+        for i, victim in enumerate(active):
+            c.delete(victim.vm_id)
+            promoted = [w for w in waiters
+                        if c.ticket(w.vm_id).state is VMState.ACTIVE]
+            assert promoted == waiters[: i + 1]
+        assert c.state().pending_vms == 2
+
     def test_queue_cap(self):
         c = controller(n=1, cpus=1, max_pending=1)
         c.request(VMSpec(1, 1.0), LEVEL_1_1)

@@ -35,6 +35,7 @@ def test_emit_sites_only_reference_known_names():
     import repro.bench.engine
     import repro.oversub.controller
     import repro.runner.runner
+    import repro.serving.service
     import repro.sharding.dispatcher
     import repro.simulator.engine
     import repro.simulator.vectorpool
@@ -46,6 +47,7 @@ def test_emit_sites_only_reference_known_names():
         repro.bench.engine,
         repro.oversub.controller,
         repro.sharding.dispatcher,
+        repro.serving.service,
     ):
         tree = ast.parse(inspect.getsource(module))
         used = {

@@ -1,0 +1,35 @@
+"""Deterministic async test harness for the serving suite.
+
+Every serving test runs its coroutines with :func:`run_deterministic`:
+a fresh :class:`~repro.serving.clock.VirtualClock` plus the drained
+-loop driver from :func:`~repro.serving.clock.run_virtual`.  No test
+in this package may call ``asyncio.sleep`` with a non-zero delay or
+read wall time — virtual sleeps only, so the whole suite finishes in
+milliseconds and every interleaving replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Coroutine, Optional, Tuple, TypeVar
+
+from repro.serving.clock import VirtualClock, run_virtual
+
+T = TypeVar("T")
+
+__all__ = ["run_deterministic", "run_with_clock"]
+
+
+def run_deterministic(
+    coro: Coroutine[Any, Any, T], start: float = 0.0
+) -> Tuple[T, float]:
+    """Run ``coro`` on a fresh virtual clock; return (result, end time)."""
+    clock = VirtualClock(start)
+    result = run_virtual(coro, clock)
+    return result, clock.now()
+
+
+def run_with_clock(
+    coro: Coroutine[Any, Any, T], clock: Optional[VirtualClock] = None
+) -> T:
+    """Run ``coro`` on ``clock`` (or a fresh one) and return its result."""
+    return run_virtual(coro, clock if clock is not None else VirtualClock())

@@ -199,6 +199,30 @@ def test_shard_resume_requires_checkpoint():
         main(["shard", "--resume", "--hosts", "4", "--population", "10"])
 
 
+def test_serve_command_writes_slo_report(tmp_path, capsys):
+    import json
+    import math
+
+    report = tmp_path / "slo.json"
+    assert main(["serve", "--duration", "3", "--rate", "20", "--seed", "7",
+                 "--report", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "placement latency p50" in out
+    assert "timeout rate" in out
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert math.isfinite(payload["latency"]["placement_p99_s"])
+    assert payload["counts"]["arrivals"] > 0
+    assert payload["spec"]["seed"] == 7
+    assert payload["decision_log"]
+
+
+def test_serve_command_sharded(capsys):
+    assert main(["serve", "--duration", "2", "--rate", "20", "--seed", "3",
+                 "--shards", "2", "--queue-bound", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "2 shard(s)" in out
+
+
 def test_evaluate_with_shards(capsys):
     assert main(["evaluate", "--provider", "ovhcloud", "--mix", "F",
                  "--population", "60", "--seed", "1",
