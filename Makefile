@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-engine bench-shard golden repro examples clean lint typecheck sweep-oversub-smoke serve-smoke
+.PHONY: install test bench bench-engine bench-shard golden repro examples clean lint lint-graph typecheck sweep-oversub-smoke serve-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,10 +14,23 @@ test-fast:
 test-quick:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow" --ignore=tests/test_examples.py
 
-# Determinism & simulation-safety static analysis (rules R001-R008).
+# Determinism & simulation-safety static analysis (rules R001-R013).
 # Exit codes: 0 clean, 1 new findings, 2 usage error.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src scripts --baseline lint-baseline.json
+
+# Index-cache smoke: cold run builds .reprolint-cache.json, warm run
+# must reuse it end-to-end (zero reparses) — both dump the import
+# graph and exit 0.
+lint-graph:
+	rm -f .reprolint-cache.json
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src scripts --graph > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src scripts --graph \
+		| $(PYTHON) -c "import json,sys; g=json.load(sys.stdin); \
+			assert g['cache']['parsed'] == 0, g['cache']; \
+			assert not g['violations'] and not g['cycles'], g['violations'] or g['cycles']; \
+			print('warm graph: %d modules, %d edges, cache fully reused' \
+				% (len(g['modules']), len(g['edges'])))"
 
 # mypy --strict via the [tool.mypy] config in pyproject.toml (the
 # lenient modules are per-module overrides there).  Needs the `dev`
@@ -84,4 +97,5 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	rm -f .reprolint-cache.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

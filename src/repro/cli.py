@@ -347,7 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     li = sub.add_parser(
         "lint",
         help="determinism & simulation-safety static analysis "
-             "(rules R001-R008; exit 0 clean, 1 new findings, 2 usage error)",
+             "(rules R001-R013; exit 0 clean, 1 new findings, 2 usage error)",
     )
     li.add_argument("paths", nargs="*",
                     help="files/directories (default: src and scripts)")
@@ -361,6 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated rule subset (e.g. R001,R004)")
     li.add_argument("--list-rules", action="store_true",
                     help="print the rule table and exit")
+    li.add_argument("--graph", action="store_true",
+                    help="dump the import graph / layering analysis as "
+                         "JSON and exit 0")
+    li.add_argument("--cache", default=None,
+                    help="project index cache file "
+                         "(default .reprolint-cache.json)")
+    li.add_argument("--no-cache", action="store_true",
+                    help="ignore and don't write the index cache")
     return parser
 
 
@@ -763,6 +771,12 @@ def _cmd_lint(args) -> int:
         argv += ["--rules", args.rules]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.graph:
+        argv.append("--graph")
+    if args.cache:
+        argv += ["--cache", args.cache]
+    if args.no_cache:
+        argv.append("--no-cache")
     return lint_main(argv)
 
 

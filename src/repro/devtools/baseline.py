@@ -14,6 +14,10 @@ finding.
 The determinism rules (R001–R004) admit **zero** suppressions: their
 entries are rejected at load time (the violation must be fixed, not
 baselined), and :meth:`Baseline.from_findings` refuses to write them.
+The determinism-taint rule R013 is also unbaselinable — a wall-clock
+value flowing into a replayable artifact is never legacy debt — but,
+unlike R001–R004, it accepts an inline pragma with a justifying
+comment for flows that are deliberate telemetry.
 """
 
 from __future__ import annotations
@@ -33,8 +37,11 @@ __all__ = ["Baseline", "BaselineError", "BASELINE_VERSION"]
 
 BASELINE_VERSION = 1
 
-#: Rules whose findings may never be baselined (determinism rules).
-_UNSUPPRESSABLE: frozenset[str] = frozenset({"R001", "R002", "R003", "R004"})
+#: Rules whose findings may never be baselined (determinism rules,
+#: plus the determinism-taint rule — pragma-able but not legacy debt).
+_UNSUPPRESSABLE: frozenset[str] = frozenset(
+    {"R001", "R002", "R003", "R004", "R013"}
+)
 
 
 class BaselineError(ReproError):

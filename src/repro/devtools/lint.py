@@ -13,14 +13,25 @@ directory.  Options::
     --write-baseline      rewrite PATH from the current findings and exit
     --rules R001,R004     run a subset of rules
     --list-rules          print the rule table and exit
+    --graph               dump the import graph / layering analysis (JSON)
+    --cache PATH          index cache file (default .reprolint-cache.json)
+    --no-cache            ignore and don't write the index cache
 
 Exit codes: **0** clean (modulo baseline), **1** new findings,
 **2** usage error (bad path/format/rule, malformed baseline).
 
-Suppression: non-determinism rules (R005–R008) honour a trailing
-``# reprolint: disable=R005`` pragma on the flagged line; the
-determinism rules R001–R004 ignore pragmas *and* baseline entries —
-those findings can only be fixed.
+The pass is whole-program: every file is parsed once into the
+:class:`~repro.devtools.index.ProjectIndex` (content-fingerprint
+cached, so warm runs reparse only changed files), the per-file AST
+rules run on parse, and the graph rules (R007 parity, R009 layering,
+R011 single-writer) run over the cached module summaries.
+
+Suppression: non-determinism rules honour a
+``# reprolint: disable=Rxxx`` pragma on the flagged line (or on the
+first line of the flagged multi-line statement); the determinism
+rules R001–R004 ignore pragmas *and* baseline entries — those
+findings can only be fixed.  R013 accepts a justified pragma but can
+never be baselined.
 """
 
 from __future__ import annotations
@@ -28,12 +39,12 @@ from __future__ import annotations
 import argparse
 import ast
 import json
-import re
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.devtools.baseline import Baseline, BaselineError
+from repro.devtools.index import DEFAULT_CACHE_NAME, ProjectIndex
 from repro.devtools.rules import (
     DETERMINISM_RULES,
     RULES,
@@ -44,9 +55,15 @@ from repro.devtools.rules import (
     rule_table,
 )
 
-__all__ = ["Finding", "LintReport", "lint_paths", "main", "LintUsageError"]
-
-_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9, ]+)")
+__all__ = [
+    "Finding",
+    "LintReport",
+    "build_index",
+    "findings_from_index",
+    "lint_paths",
+    "main",
+    "LintUsageError",
+]
 
 
 class LintUsageError(Exception):
@@ -113,42 +130,70 @@ def load_context(path: Path, root: Optional[Path] = None) -> ModuleContext:
 # ---------------------------------------------------------------------------
 
 
-def _suppressed(finding: Finding, ctx: ModuleContext) -> bool:
-    """True when a same-line pragma disables this (non-determinism) rule."""
+def _suppressed(finding: Finding, pragmas: Dict[int, Tuple[str, ...]]) -> bool:
+    """True when pragma coverage disables this (non-determinism) rule.
+
+    Coverage comes from the module summary: the pragma's own line plus,
+    for simple multi-line statements, every continuation line — so a
+    pragma on the first line of a wrapped call suppresses findings the
+    parser anchors further down.
+    """
     if finding.rule_id in DETERMINISM_RULES:
         return False
-    if finding.line - 1 >= len(ctx.lines):
-        return False
-    match = _PRAGMA.search(ctx.lines[finding.line - 1])
-    if not match:
-        return False
-    codes = {c.strip() for c in match.group(1).split(",")}
-    return finding.rule_id in codes
+    return finding.rule_id in pragmas.get(finding.line, ())
+
+
+def build_index(
+    paths: Sequence[str | Path],
+    root: Optional[Path] = None,
+    cache: Optional[str | Path] = None,
+) -> ProjectIndex:
+    """Index every Python file under ``paths``.
+
+    All per-file rules run on each (re)parsed file so the cache stays
+    complete regardless of any ``--rules`` subset in effect.
+    """
+    files = discover_files(paths)
+    index = ProjectIndex(root=root or Path.cwd(), cache_path=cache)
+    index.build(files, RULES)
+    return index
+
+
+def findings_from_index(
+    index: ProjectIndex, rules: Sequence[Rule] = RULES
+) -> list[Finding]:
+    """Pragma-filtered findings for ``rules`` from a built index."""
+    selected = {r.rule_id for r in rules}
+    findings: list[Finding] = []
+    for rel_path in sorted(index.findings):
+        pragmas = index.pragmas_for(rel_path)
+        for finding in index.findings[rel_path]:
+            if finding.rule_id in selected and not _suppressed(finding, pragmas):
+                findings.append(finding)
+    for rule in rules:
+        for finding in rule.check_index(index):
+            if not _suppressed(finding, index.pragmas_for(finding.path)):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
 
 
 def lint_paths(
     paths: Sequence[str | Path],
     rules: Sequence[Rule] = RULES,
     root: Optional[Path] = None,
+    cache: Optional[str | Path] = None,
 ) -> list[Finding]:
     """Run the rule set over every Python file under ``paths``.
 
     Findings come back sorted by (path, line, rule) and already
     filtered through inline pragmas; baseline subtraction is the
-    caller's concern (see :class:`Baseline`).
+    caller's concern (see :class:`Baseline`).  Pass ``cache`` to reuse
+    and update an index cache file across runs.
     """
-    ctxs = [load_context(p, root=root) for p in discover_files(paths)]
-    findings: list[Finding] = []
-    for ctx in ctxs:
-        for rule in rules:
-            if not rule.applies_to(ctx.module):
-                continue
-            for finding in rule.check(ctx):
-                if not _suppressed(finding, ctx):
-                    findings.append(finding)
-    for rule in rules:
-        findings.extend(rule.check_project(ctxs))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    index = build_index(paths, root=root, cache=cache)
+    findings = findings_from_index(index, rules)
+    index.save_cache()
     return findings
 
 
@@ -237,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the import graph, layering analysis and cache stats "
+        "as JSON and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE_NAME,
+        help=f"project index cache file (default {DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and don't write the index cache",
+    )
     return parser
 
 
@@ -273,10 +334,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule_id, title, _hint in rule_table():
             print(f"{rule_id}  {title}")
         return 0
+    cache = None if args.no_cache else args.cache
     try:
         rules = _select_rules(args.rules)
         paths = args.paths or _default_paths()
-        findings = lint_paths(paths, rules=rules)
+        index = build_index(paths, cache=cache)
+        if args.graph:
+            from repro.devtools.graphs import graph_payload
+
+            index.save_cache()
+            print(json.dumps(graph_payload(index), indent=2, sort_keys=True))
+            return 0
+        findings = findings_from_index(index, rules)
+        index.save_cache()
         if args.write_baseline:
             if not args.baseline:
                 raise LintUsageError("--write-baseline requires --baseline PATH")

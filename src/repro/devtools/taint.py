@@ -1,0 +1,468 @@
+"""Intra-module determinism taint analysis for reprolint (R013).
+
+Wall-clock reads (``time.perf_counter`` and friends) are legal in
+decision packages *as telemetry* — the contract (PR 8/9, CONTRIBUTING
+invariant 5) is that their values never reach a *replayable artifact*:
+decision logs, audit logs, checkpoints, or fingerprint inputs.  This
+module tracks that flow within one file:
+
+* **sources** — calls to the wall-clock family (``perf_counter``,
+  ``perf_counter_ns``, ``process_time``, ``monotonic``, …);
+* **propagation** — assignment, arithmetic, comparisons, f-strings,
+  container literals, subscript stores (tainting the container),
+  attribute stores on ``self``, and calls whose argument or receiver
+  is tainted;
+* **function summaries** — a fixpoint over the module's own functions
+  so taint flows through helpers: a function returning a tainted value
+  taints its call sites, and a tainted argument taints the callee's
+  parameter (which may then hit a sink inside the callee);
+* **sinks** — ``.append``/``.write`` on checkpoint-like receivers,
+  ``.append`` on ``decision_log``/``audit_log``, ``.update`` on a
+  hashlib digest, ``.record`` on recorder-like receivers, and calls to
+  in-module functions that themselves append to a decision/audit log.
+
+The analysis is deliberately intra-module and name-based: it trades
+soundness-in-the-large for zero-configuration precision on this
+codebase's idioms, and every finding it raises is a value that really
+did originate at a wall-clock read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["TaintSink", "wallclock_taint"]
+
+#: Resolved call targets that produce wall-clock-derived values.
+WALL_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+#: Receiver names whose ``.append`` is a replayable decision artifact.
+LOG_RECEIVERS = frozenset({"decision_log", "audit_log"})
+
+#: Substrings marking a receiver as checkpoint-like.
+CHECKPOINT_MARKERS = ("checkpoint", "ckpt")
+
+#: Constructor targets producing a fingerprint digest (``.update`` sink).
+DIGEST_CONSTRUCTORS = frozenset(
+    {"hashlib.sha256", "hashlib.sha1", "hashlib.md5", "hashlib.blake2b",
+     "hashlib.blake2s", "sha256", "sha1", "md5", "blake2b", "blake2s"}
+)
+
+
+@dataclass(frozen=True)
+class TaintSink:
+    """One tainted value reaching a replayable artifact."""
+
+    line: int
+    col: int
+    description: str
+
+
+@dataclass
+class _FunctionInfo:
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: Tuple[str, ...]
+    tainted_params: Set[str] = field(default_factory=set)
+    returns_tainted: bool = False
+    is_logger: bool = False  # body appends to a decision/audit log
+
+
+def _collect_functions(tree: ast.Module) -> Dict[str, _FunctionInfo]:
+    """Module functions, class methods, and nested defs by lookup key.
+
+    Bare-name calls resolve via the simple name; ``self.x()`` calls
+    resolve via the simple name too (methods are registered under both
+    ``Cls.meth`` and ``meth`` when unambiguous).
+    """
+    out: Dict[str, _FunctionInfo] = {}
+
+    def params_of(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Tuple[str, ...]:
+        a = fn.args
+        return tuple(
+            arg.arg for arg in [*a.posonlyargs, *a.args, *a.kwonlyargs]
+        )
+
+    def register(fn, qual: str) -> None:
+        info = _FunctionInfo(qual, fn, params_of(fn))
+        out.setdefault(qual, info)
+        simple = fn.name
+        # simple-name alias for call resolution; first wins (ambiguity
+        # just loses precision, never soundness of reported findings)
+        out.setdefault(simple, info)
+
+    def visit(body: Sequence[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}" if prefix else node.name
+                register(node, qual)
+                visit(node.body, f"{qual}.")
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, f"{node.name}.")
+
+    visit(tree.body, "")
+    return out
+
+
+def _is_logger(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Does this function append to a decision/audit log receiver?"""
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and _terminal_attr(node.func.value) in LOG_RECEIVERS
+        ):
+            return True
+    return False
+
+
+def _terminal_attr(node: ast.expr) -> Optional[str]:
+    """Last name component of a receiver: ``self.decision_log`` -> that."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_key(node: ast.expr) -> Optional[str]:
+    """Assignment-target key: local name or ``self.attr``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+class _FunctionAnalysis:
+    """One forward pass over a function body with a taint environment."""
+
+    def __init__(
+        self,
+        info: _FunctionInfo,
+        functions: Dict[str, _FunctionInfo],
+        resolve,
+        emit: bool,
+    ):
+        self.info = info
+        self.functions = functions
+        self.resolve = resolve  # dotted resolution via ImportMap
+        self.emit = emit
+        self.tainted: Set[str] = set(info.tainted_params)
+        self.digests: Set[str] = set()  # names bound to hashlib digests
+        self.returns_tainted = False
+        self.sinks: List[TaintSink] = []
+        self.callee_taints: List[Tuple[str, str]] = []  # (qual, param)
+
+    # -- expression taint ----------------------------------------------------
+
+    def expr_tainted(self, node: Optional[ast.expr]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            key = _target_key(node)
+            if key is not None and key in self.tainted:
+                return True
+            return self.expr_tainted(node.value)
+        if isinstance(node, ast.Call):
+            return self.call_tainted(node)
+        if isinstance(node, ast.BinOp):
+            return self.expr_tainted(node.left) or self.expr_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_tainted(node.operand)
+        if isinstance(node, ast.Compare):
+            return self.expr_tainted(node.left) or any(
+                self.expr_tainted(c) for c in node.comparators
+            )
+        if isinstance(node, ast.BoolOp):
+            return any(self.expr_tainted(v) for v in node.values)
+        if isinstance(node, ast.IfExp):
+            return self.expr_tainted(node.body) or self.expr_tainted(node.orelse)
+        if isinstance(node, ast.JoinedStr):
+            return any(
+                self.expr_tainted(v.value)
+                for v in node.values
+                if isinstance(v, ast.FormattedValue)
+            )
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return any(self.expr_tainted(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(
+                self.expr_tainted(v) for v in [*node.keys, *node.values]
+            )
+        if isinstance(node, ast.Subscript):
+            return self.expr_tainted(node.value)
+        if isinstance(node, ast.Starred):
+            return self.expr_tainted(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return any(
+                self.expr_tainted(gen.iter) for gen in node.generators
+            ) or self.expr_tainted(node.elt)
+        if isinstance(node, ast.DictComp):
+            return any(
+                self.expr_tainted(gen.iter) for gen in node.generators
+            ) or self.expr_tainted(node.value)
+        if isinstance(node, ast.Await):
+            return self.expr_tainted(node.value)
+        return False
+
+    def call_tainted(self, node: ast.Call) -> bool:
+        dotted = self.resolve(node.func)
+        if dotted in WALL_SOURCES:
+            return True
+        callee = self._callee_info(node)
+        if callee is not None and callee.returns_tainted:
+            return True
+        # unknown call: tainted receiver or argument taints the result
+        # (e.g. record.get("wall_s"), round(wall, 3), str(wall))
+        if isinstance(node.func, ast.Attribute) and self.expr_tainted(
+            node.func.value
+        ):
+            return True
+        return any(
+            self.expr_tainted(a)
+            for a in [*node.args, *[k.value for k in node.keywords]]
+        )
+
+    def _callee_info(self, node: ast.Call) -> Optional[_FunctionInfo]:
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            name = func.attr
+        if name is None:
+            return None
+        info = self.functions.get(name)
+        if info is not None and info.node is self.info.node:
+            return None  # direct recursion: nothing new to learn
+        return info
+
+    # -- statements ----------------------------------------------------------
+
+    def run(self) -> None:
+        self._visit_body(self.info.node.body)
+
+    def _visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._check_calls(stmt.value)
+            tainted = self.expr_tainted(stmt.value)
+            digest = self._is_digest_ctor(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, tainted, digest)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._check_calls(stmt.value)
+                self._assign(
+                    stmt.target,
+                    self.expr_tainted(stmt.value),
+                    self._is_digest_ctor(stmt.value),
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            self._check_calls(stmt.value)
+            if self.expr_tainted(stmt.value):
+                self._assign(stmt.target, True, False)
+        elif isinstance(stmt, ast.Return):
+            self._check_calls(stmt.value)
+            if self.expr_tainted(stmt.value):
+                self.returns_tainted = True
+        elif isinstance(stmt, ast.Expr):
+            self._check_calls(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_calls(stmt.iter)
+            if self.expr_tainted(stmt.iter):
+                self._assign(stmt.target, True, False)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self._check_calls(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_calls(item.context_expr)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+        # nested defs are analyzed as their own functions
+
+    def _assign(self, target: ast.expr, tainted: bool, digest: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, tainted, digest)
+            return
+        if isinstance(target, ast.Subscript):
+            # record["wall_s"] = wall  — the whole container is tainted
+            key = _target_key(target.value)
+            if tainted and key is not None:
+                self.tainted.add(key)
+            return
+        key = _target_key(target)
+        if key is None:
+            return
+        if digest:
+            self.digests.add(key)
+        if tainted:
+            self.tainted.add(key)
+        else:
+            self.tainted.discard(key)
+
+    def _is_digest_ctor(self, node: Optional[ast.expr]) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and self.resolve(node.func) in DIGEST_CONSTRUCTORS
+        )
+
+    # -- sinks and interprocedural edges -------------------------------------
+
+    def _check_calls(self, expr: Optional[ast.expr]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        args = [*node.args, *[k.value for k in node.keywords]]
+        any_tainted = any(self.expr_tainted(a) for a in args)
+
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            terminal = _terminal_attr(receiver)
+            if func.attr == "append" and any_tainted:
+                if terminal in LOG_RECEIVERS:
+                    self._sink(node, f"{terminal}.append")
+                    return
+                if terminal is not None and any(
+                    m in terminal.lower() for m in CHECKPOINT_MARKERS
+                ):
+                    self._sink(node, f"{terminal}.append (checkpoint)")
+                    return
+            if func.attr == "write" and any_tainted and terminal is not None:
+                if any(m in terminal.lower() for m in CHECKPOINT_MARKERS):
+                    self._sink(node, f"{terminal}.write (checkpoint)")
+                    return
+            if (
+                func.attr == "update"
+                and any_tainted
+                and isinstance(receiver, ast.Name)
+                and receiver.id in self.digests
+            ):
+                self._sink(node, f"{receiver.id}.update (fingerprint digest)")
+                return
+            if (
+                func.attr == "record"
+                and any_tainted
+                and terminal is not None
+                and "recorder" in terminal.lower()
+            ):
+                self._sink(node, f"{terminal}.record")
+                return
+
+        callee = self._callee_info(node)
+        if callee is not None:
+            if callee.is_logger and any_tainted:
+                self._sink(node, f"{callee.qualname}() (appends to decision/audit log)")
+                return
+            # positional args -> parameter taint for the fixpoint
+            offset = 0
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and callee.params
+                and callee.params[0] == "self"
+            ):
+                offset = 1
+            for i, arg in enumerate(node.args):
+                if self.expr_tainted(arg) and i + offset < len(callee.params):
+                    self.callee_taints.append(
+                        (callee.qualname, callee.params[i + offset])
+                    )
+            for kw in node.keywords:
+                if kw.arg is not None and self.expr_tainted(kw.value):
+                    if kw.arg in callee.params:
+                        self.callee_taints.append((callee.qualname, kw.arg))
+
+    def _sink(self, node: ast.Call, what: str) -> None:
+        if self.emit:
+            self.sinks.append(
+                TaintSink(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    description=what,
+                )
+            )
+
+
+def wallclock_taint(tree: ast.Module, resolve) -> List[TaintSink]:
+    """All wall-clock-to-artifact flows in one module.
+
+    ``resolve`` maps an expression to its dotted import target (the
+    rule passes ``ctx.imports.resolve``).  Runs the per-function
+    analyses to a fixpoint over ``returns_tainted`` and parameter
+    taint, then one emitting pass to collect sinks.
+    """
+    functions = _collect_functions(tree)
+    infos = {id(info.node): info for info in functions.values()}
+    for info in infos.values():
+        info.is_logger = _is_logger(info.node)
+
+    changed = True
+    rounds = 0
+    while changed and rounds < 20:
+        changed = False
+        rounds += 1
+        for info in infos.values():
+            run = _FunctionAnalysis(info, functions, resolve, emit=False)
+            run.run()
+            if run.returns_tainted and not info.returns_tainted:
+                info.returns_tainted = True
+                changed = True
+            for qual, param in run.callee_taints:
+                target = functions.get(qual)
+                if target is not None and param not in target.tainted_params:
+                    target.tainted_params.add(param)
+                    changed = True
+
+    sinks: List[TaintSink] = []
+    for info in infos.values():
+        run = _FunctionAnalysis(info, functions, resolve, emit=True)
+        run.run()
+        sinks.extend(run.sinks)
+    return sorted(sinks, key=lambda s: (s.line, s.col, s.description))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -32,14 +32,16 @@ from repro.obs.records import (
     HostDecision,
     NULL_RECORDER,
 )
-from repro.oversub.controller import OversubController, OversubParams, OversubSummary
-from repro.oversub.pipeline import (
-    EffectiveCapacityView,
-    ObjectClusterTarget,
-    with_oversub,
-)
 from repro.scheduling.global_scheduler import ScoreBasedScheduler
 from repro.simulator.events import EventKind, workload_events
+
+if TYPE_CHECKING:  # annotation-only: keeps simulator below oversub (R009)
+    from repro.oversub.controller import (
+        OversubController,
+        OversubParams,
+        OversubSummary,
+    )
+    from repro.oversub.pipeline import ObjectClusterTarget
 
 __all__ = ["PlacementRecord", "Timeline", "SimulationResult", "Simulation", "build_hosts"]
 
@@ -179,6 +181,14 @@ class Simulation:
         self._oversub_target: Optional[ObjectClusterTarget] = None
         self._oversub_controller: Optional[OversubController] = None
         if oversub is not None:
+            # Deferred import: the engine only reaches up into the
+            # oversub layer when a controller is requested (R009).
+            from repro.oversub.pipeline import (
+                EffectiveCapacityView,
+                ObjectClusterTarget,
+                with_oversub,
+            )
+
             # The object path composes through the Nova-style pipeline:
             # an EffectiveCapacityFilter (and optional SlackAwareWeigher)
             # reading a shared view the controller updates.  Local

@@ -72,7 +72,7 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -92,7 +92,6 @@ from repro.obs.records import (
     HostDecision,
     NULL_RECORDER,
 )
-from repro.oversub.controller import OversubController, OversubParams
 from repro.scheduling.constants import (
     BESTFIT_BLEND,
     CAPACITY_EPSILON,
@@ -100,7 +99,11 @@ from repro.scheduling.constants import (
     TIEBREAK_WEIGHT,
     floats_differ,
 )
-from repro.simulator import prunekernel, refkernel
+# Submodule imports, not `from repro.simulator import ...`: importing
+# through the package __init__ (which imports this module transitively)
+# would create a module-level cycle (R009).
+import repro.simulator.prunekernel as prunekernel
+import repro.simulator.refkernel as refkernel
 from repro.simulator.engine import PlacementRecord, SimulationResult, Timeline
 from repro.simulator.events import (
     EventKind,
@@ -108,6 +111,9 @@ from repro.simulator.events import (
     workload_event_list,
     workload_events,
 )
+
+if TYPE_CHECKING:  # annotation-only: keeps simulator below oversub (R009)
+    from repro.oversub.controller import OversubController, OversubParams
 
 __all__ = ["VectorCluster", "VectorSimulation", "POLICIES", "KERNELS"]
 

@@ -56,13 +56,15 @@ def test_saved_file_is_stable_json(tmp_path):
     assert path.read_text() == before
 
 
-@pytest.mark.parametrize("rule_id", ["R001", "R002", "R003", "R004"])
+@pytest.mark.parametrize("rule_id", ["R001", "R002", "R003", "R004", "R013"])
 def test_determinism_rules_cannot_be_written(rule_id):
+    # R013 rides along: a wall-clock flow into a replayable artifact is
+    # never legacy debt (pragma with justification is the only out).
     with pytest.raises(BaselineError, match="cannot be baselined"):
         Baseline.from_findings([finding(rule_id=rule_id)])
 
 
-@pytest.mark.parametrize("rule_id", ["R001", "R002", "R003", "R004"])
+@pytest.mark.parametrize("rule_id", ["R001", "R002", "R003", "R004", "R013"])
 def test_determinism_rules_rejected_at_load(tmp_path, rule_id):
     path = tmp_path / "baseline.json"
     path.write_text(
@@ -72,6 +74,57 @@ def test_determinism_rules_rejected_at_load(tmp_path, rule_id):
     )
     with pytest.raises(BaselineError, match="zero suppressions"):
         Baseline.load(path)
+
+
+def _layering_tree(tree):
+    tree.write("src/repro/core/thing.py", "import repro.api.surface\n")
+    tree.write(
+        "src/repro/serving/svc.py",
+        "class Service:\n"
+        "    def __init__(self, controllers):\n"
+        "        self.controllers = list(controllers)\n"
+        "\n"
+        "    async def handle(self, vm):\n"
+        "        self.controllers[0].request(vm)\n",
+    )
+    tree.write("src/repro/api/surface.py", "X = 1\n")
+
+
+def test_cross_file_findings_round_trip_through_a_baseline(tree, tmp_path):
+    # Graph-rule findings (R009 layering, R011 single-writer) baseline
+    # and filter exactly like per-file findings.
+    _layering_tree(tree)
+    findings = tree.lint()
+    assert sorted(f.rule_id for f in findings) == ["R009", "R011"]
+
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+    assert Baseline.load(path).filter_new(findings) == []
+
+
+def test_cross_file_fingerprints_survive_unrelated_edits(tree, tmp_path):
+    # Fingerprints are line-number-free: pushing the violating import
+    # down the file must not resurrect a baselined R009 finding.
+    _layering_tree(tree)
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(tree.lint()).save(path)
+
+    tree.write(
+        "src/repro/core/thing.py",
+        '"""Docstring added above the import."""\n\n'
+        "import repro.api.surface\n",
+    )
+    moved = tree.lint()
+    assert any(f.rule_id == "R009" and f.line == 3 for f in moved)
+    assert Baseline.load(path).filter_new(moved) == []
+
+
+def test_fingerprints_are_stable_under_finding_reorder(tree):
+    _layering_tree(tree)
+    findings = tree.lint()
+    forward = Baseline.from_findings(findings)
+    backward = Baseline.from_findings(list(reversed(findings)))
+    assert forward.fingerprints == backward.fingerprints
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,328 @@
+"""R012 process-boundary hygiene and R013 determinism taint.
+
+R012: executor submissions in ``repro.sharding``/``repro.runner`` must
+be module-level callables with JSON-primitive payloads — no lambdas,
+nested functions, bound methods, RNGs or open handles across the fork.
+
+R013: wall-clock-derived values (``time.perf_counter`` and friends) may
+exist as telemetry but must never flow into a replayable artifact — a
+decision log, checkpoint, or fingerprint digest.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+# ---------------------------------------------------------------------------
+# R012 — process-boundary hygiene
+# ---------------------------------------------------------------------------
+
+R012_GOOD = src(
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+
+    def _run_shard(payload):
+        return payload["seed"]
+
+
+    def dispatch(specs):
+        results = []
+        with ProcessPoolExecutor(2) as pool:
+            futures = [
+                pool.submit(_run_shard, {"seed": spec, "hosts": 100})
+                for spec in specs
+            ]
+            results = [f.result() for f in futures]
+        return results
+    """
+)
+
+
+def test_r012_module_level_worker_with_json_payload_is_clean(tree):
+    tree.write("src/repro/sharding/disp.py", R012_GOOD)
+    assert tree.rule_ids() == []
+
+
+def test_r012_lambda_submission_is_flagged(tree):
+    tree.write(
+        "src/repro/sharding/disp.py",
+        src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            def dispatch(specs):
+                with ProcessPoolExecutor(2) as pool:
+                    return [pool.submit(lambda s: s, spec) for spec in specs]
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R012"]
+    assert len(findings) == 1
+    assert "lambda submitted across the process boundary" in findings[0].message
+
+
+def test_r012_nested_function_submission_is_flagged(tree):
+    tree.write(
+        "src/repro/runner/pool.py",
+        src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            def dispatch(specs):
+                def worker(spec):
+                    return spec
+
+                with ProcessPoolExecutor(2) as pool:
+                    return [pool.submit(worker, spec) for spec in specs]
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R012"]
+    assert len(findings) == 1
+    assert "nested function worker() submitted" in findings[0].message
+
+
+def test_r012_bound_method_submission_is_flagged(tree):
+    tree.write(
+        "src/repro/sharding/disp.py",
+        src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            class Dispatcher:
+                def run_one(self, spec):
+                    return spec
+
+                def dispatch(self, specs):
+                    with ProcessPoolExecutor(2) as pool:
+                        return [pool.submit(self.run_one, s) for s in specs]
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R012"]
+    assert len(findings) == 1
+    assert "submit a module-level function instead of a bound method" in (
+        findings[0].message
+    )
+
+
+def test_r012_rng_handle_in_payload_is_flagged(tree):
+    tree.write(
+        "src/repro/sharding/disp.py",
+        src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            from numpy.random import default_rng
+
+
+            def _run_shard(rng):
+                return rng.integers(10)
+
+
+            def dispatch(seed):
+                rng = default_rng(seed)
+                with ProcessPoolExecutor(2) as pool:
+                    return pool.submit(_run_shard, rng).result()
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R012"]
+    assert len(findings) == 1
+    assert "payload carries numpy.random.default_rng() handle 'rng'" in (
+        findings[0].message
+    )
+
+
+def test_r012_inline_open_handle_in_payload_is_flagged(tree):
+    tree.write(
+        "src/repro/runner/pool.py",
+        src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            def _run_shard(handle):
+                return handle.read()
+
+
+            def dispatch(path):
+                with ProcessPoolExecutor(2) as pool:
+                    return pool.submit(_run_shard, open(path)).result()
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R012"]
+    assert len(findings) == 1
+    assert "payload constructs open() inline" in findings[0].message
+
+
+def test_r012_only_applies_to_sharding_and_runner(tree):
+    tree.write(
+        "src/repro/core/disp.py",
+        src(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            def dispatch(specs):
+                with ProcessPoolExecutor(2) as pool:
+                    return [pool.submit(lambda s: s, spec) for spec in specs]
+            """
+        ),
+    )
+    assert "R012" not in tree.rule_ids()
+
+
+# ---------------------------------------------------------------------------
+# R013 — determinism taint (wall clock -> replayable artifacts)
+# ---------------------------------------------------------------------------
+
+
+def test_r013_wall_clock_into_decision_log_is_flagged(tree):
+    tree.write(
+        "src/repro/runner/cell.py",
+        src(
+            """
+            import time
+
+
+            def run(decision_log):
+                started = time.perf_counter()
+                wall = time.perf_counter() - started
+                decision_log.append({"wall_s": wall})
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R013"]
+    assert len(findings) == 1
+    assert "flows into decision_log.append" in findings[0].message
+
+
+def test_r013_taint_flows_through_a_helper_return(tree):
+    tree.write(
+        "src/repro/runner/cell.py",
+        src(
+            """
+            import time
+
+
+            def _elapsed(started):
+                return time.perf_counter() - started
+
+
+            def harvest(checkpoint, started):
+                record = {"wall": _elapsed(started)}
+                checkpoint.append(record)
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R013"]
+    assert len(findings) == 1
+    assert "(checkpoint)" in findings[0].message
+
+
+def test_r013_taint_flows_into_a_callee_parameter(tree):
+    tree.write(
+        "src/repro/sharding/log.py",
+        src(
+            """
+            import time
+
+
+            def persist(checkpoint, record):
+                checkpoint.append(record)
+
+
+            def run(checkpoint):
+                wall = time.perf_counter()
+                persist(checkpoint, {"wall": wall})
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R013"]
+    assert len(findings) == 1
+    assert "(checkpoint)" in findings[0].message
+
+
+def test_r013_wall_clock_into_fingerprint_digest_is_flagged(tree):
+    tree.write(
+        "src/repro/runner/fp.py",
+        src(
+            """
+            import hashlib
+            import time
+
+
+            def fingerprint():
+                digest = hashlib.sha256()
+                digest.update(str(time.perf_counter()).encode())
+                return digest.hexdigest()
+            """
+        ),
+    )
+    findings = [f for f in tree.lint() if f.rule_id == "R013"]
+    assert len(findings) == 1
+    assert "fingerprint digest" in findings[0].message
+
+
+def test_r013_telemetry_outside_replay_artifacts_is_clean(tree):
+    tree.write(
+        "src/repro/runner/cell.py",
+        src(
+            """
+            import time
+
+
+            def run(histogram):
+                started = time.perf_counter()
+                wall = time.perf_counter() - started
+                histogram.observe(wall)
+                return {"wall_s": wall}
+            """
+        ),
+    )
+    assert tree.rule_ids() == []
+
+
+def test_r013_accepts_a_justified_pragma(tree):
+    tree.write(
+        "src/repro/runner/cell.py",
+        src(
+            """
+            import time
+
+
+            def run(checkpoint):
+                wall = time.perf_counter()
+                # wall_s is operator telemetry; replay never reads it.
+                checkpoint.append({"wall_s": wall})  # reprolint: disable=R013
+            """
+        ),
+    )
+    assert tree.rule_ids() == []
+
+
+def test_r013_only_applies_to_decision_packages(tree):
+    tree.write(
+        "src/repro/core/cell.py",
+        src(
+            """
+            import time
+
+
+            def run(decision_log):
+                decision_log.append({"wall": time.perf_counter()})
+            """
+        ),
+    )
+    assert "R013" not in tree.rule_ids()

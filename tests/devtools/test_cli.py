@@ -130,6 +130,50 @@ def test_list_rules(project, capsys):
         assert rule_id in out
 
 
+def test_graph_dump_shape_and_exit_0(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    assert lint_main(["src", "--graph"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "repro.scheduling.ok" in payload["modules"]
+    assert payload["modules"]["repro.scheduling.ok"]["package"] == "scheduling"
+    assert payload["violations"] == []
+    assert payload["cycles"] == []
+    assert payload["cache"]["files"] == 1
+
+
+def test_default_cache_written_and_reused(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    assert lint_main(["src", "--graph"]) == 0
+    assert json.loads(capsys.readouterr().out)["cache"]["parsed"] == 1
+    assert (project / ".reprolint-cache.json").exists()
+
+    assert lint_main(["src", "--graph"]) == 0
+    warm = json.loads(capsys.readouterr().out)["cache"]
+    assert warm == {"files": 1, "parsed": 0, "reused": 1}
+
+
+def test_no_cache_flag_skips_the_cache_file(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    assert lint_main(["src", "--no-cache"]) == 0
+    assert not (project / ".reprolint-cache.json").exists()
+    capsys.readouterr()
+
+
+def test_cache_flag_relocates_the_cache_file(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    assert lint_main(["src", "--cache", "custom-cache.json"]) == 0
+    assert (project / "custom-cache.json").exists()
+    assert not (project / ".reprolint-cache.json").exists()
+    capsys.readouterr()
+
+
+def test_repro_cli_lint_graph_passthrough(project, capsys):
+    write(project, "src/repro/scheduling/ok.py", CLEAN)
+    assert cli_main(["lint", "src", "--graph"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "repro.scheduling.ok" in payload["modules"]
+
+
 def test_repro_cli_lint_subcommand(project, capsys):
     write(project, "scripts/run.py", DIRTY)
     assert cli_main(["lint", "scripts"]) == 1

@@ -1,4 +1,8 @@
-"""Good/bad fixture pairs for every reprolint rule (R001-R008).
+"""Good/bad fixture pairs for the per-file reprolint rules (R001-R008).
+
+The whole-program rules have their own fixture suites: R009-R011 in
+test_graph_rules.py, R012-R013 in test_boundary_taint.py, and the index
+cache in test_index.py.
 
 Each test writes a tiny module that either violates exactly one rule
 (the *bad* fixture — the rule must fire) or uses the blessed idiom
@@ -79,6 +83,41 @@ def test_r001_allows_perf_counter_and_timing_shim(tree):
         ),
     )
     assert tree.rule_ids() == []
+
+
+def test_r001_flags_monotonic_clocks(tree):
+    # monotonic reads are still wall-clock state: a replay on another
+    # machine sees different values.
+    tree.write(
+        "src/repro/workload/gen.py",
+        src(
+            """
+            import time
+
+            def stamp():
+                return time.monotonic(), time.monotonic_ns()
+            """
+        ),
+    )
+    assert tree.rule_ids() == ["R001", "R001"]
+
+
+def test_r001_flags_every_secrets_function(tree):
+    # The whole secrets module is an entropy source — banned by prefix,
+    # not by enumeration.
+    tree.write(
+        "src/repro/workload/gen.py",
+        src(
+            """
+            import secrets
+            from secrets import token_hex
+
+            def ident():
+                return token_hex(8), secrets.randbelow(10)
+            """
+        ),
+    )
+    assert tree.rule_ids() == ["R001", "R001"]
 
 
 # ---------------------------------------------------------------------------
@@ -433,6 +472,62 @@ def test_r008_allows_registered_constants(tree):
         ),
     )
     assert tree.rule_ids() == []
+
+
+# ---------------------------------------------------------------------------
+# pragma anchoring on multi-line statements
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_on_first_line_covers_wrapped_statement(tree):
+    # Formatters anchor the finding on the continuation line, but the
+    # author can only write the pragma on the line black leaves intact:
+    # the first line of the statement.
+    tree.write(
+        "src/repro/scheduling/pol.py",
+        src(
+            """
+            def admits(score):
+                flag = bool(  # reprolint: disable=R005
+                    score == 1.0,
+                )
+                return flag
+            """
+        ),
+    )
+    assert tree.rule_ids() == []
+
+
+def test_pragma_on_continuation_line_still_works(tree):
+    tree.write(
+        "src/repro/scheduling/pol.py",
+        src(
+            """
+            def admits(score):
+                flag = bool(
+                    score == 1.0,  # reprolint: disable=R005
+                )
+                return flag
+            """
+        ),
+    )
+    assert tree.rule_ids() == []
+
+
+def test_pragma_on_compound_header_does_not_cover_the_suite(tree):
+    # An `if` header pragma must not silence the whole block.
+    tree.write(
+        "src/repro/scheduling/pol.py",
+        src(
+            """
+            def admits(score):
+                if score:  # reprolint: disable=R005
+                    return score == 1.0
+                return False
+            """
+        ),
+    )
+    assert tree.rule_ids() == ["R005"]
 
 
 # ---------------------------------------------------------------------------
